@@ -1,0 +1,84 @@
+#include "fault/fault.h"
+
+#include <algorithm>
+#include <limits>
+#include <stdexcept>
+
+namespace realm::fault {
+
+RandomBitFlipInjector::RandomBitFlipInjector(double ber, int bit_lo, int bit_hi)
+    : ber_(ber), bit_lo_(bit_lo), bit_hi_(bit_hi) {
+  if (ber < 0.0 || ber > 1.0) throw std::invalid_argument("BER must be in [0,1]");
+  if (bit_lo < 0 || bit_hi > 31 || bit_lo > bit_hi) {
+    throw std::invalid_argument("bit range must satisfy 0 <= lo <= hi <= 31");
+  }
+}
+
+InjectionReport RandomBitFlipInjector::inject(std::span<std::int32_t> data,
+                                              util::Rng& rng) const {
+  InjectionReport report;
+  if (ber_ <= 0.0 || data.empty()) return report;
+  const auto bits_per_elem = static_cast<std::uint64_t>(bit_hi_ - bit_lo_ + 1);
+  const std::uint64_t trials = data.size() * bits_per_elem;
+  // Sample the total flip count once, then scatter the flips uniformly.
+  // Collisions (two flips landing on the same bit, undoing each other) are
+  // possible but have probability O(flips^2 / trials) — negligible at the
+  // BERs of interest and faithful to independent physical upsets anyway.
+  const std::uint64_t flips = rng.binomial(trials, ber_);
+  for (std::uint64_t f = 0; f < flips; ++f) {
+    const std::uint64_t pos = rng.uniform_u64(trials);
+    const std::size_t elem = static_cast<std::size_t>(pos / bits_per_elem);
+    const int bit = bit_lo_ + static_cast<int>(pos % bits_per_elem);
+    auto word = static_cast<std::uint32_t>(data[elem]);
+    word ^= (1u << bit);
+    data[elem] = static_cast<std::int32_t>(word);
+  }
+  report.flipped_bits = flips;
+  report.corrupted_values = flips;  // collision correction not worth tracking
+  return report;
+}
+
+SingleBitFlipInjector::SingleBitFlipInjector(double ber, int bit) : ber_(ber), bit_(bit) {
+  if (ber < 0.0 || ber > 1.0) throw std::invalid_argument("BER must be in [0,1]");
+  if (bit < 0 || bit > 31) throw std::invalid_argument("bit must be in [0,31]");
+}
+
+InjectionReport SingleBitFlipInjector::inject(std::span<std::int32_t> data,
+                                              util::Rng& rng) const {
+  InjectionReport report;
+  if (ber_ <= 0.0 || data.empty()) return report;
+  const std::uint64_t flips = rng.binomial(data.size(), ber_);
+  for (std::uint64_t f = 0; f < flips; ++f) {
+    const std::size_t elem = static_cast<std::size_t>(rng.uniform_u64(data.size()));
+    auto word = static_cast<std::uint32_t>(data[elem]);
+    word ^= (1u << bit_);
+    data[elem] = static_cast<std::int32_t>(word);
+  }
+  report.flipped_bits = flips;
+  report.corrupted_values = flips;
+  return report;
+}
+
+MagFreqInjector::MagFreqInjector(std::int64_t mag, std::uint64_t freq) : mag_(mag), freq_(freq) {
+  if (mag == 0) throw std::invalid_argument("mag must be nonzero");
+}
+
+InjectionReport MagFreqInjector::inject(std::span<std::int32_t> data, util::Rng& rng) const {
+  InjectionReport report;
+  if (freq_ == 0 || data.empty()) return report;
+  const std::uint64_t count = std::min<std::uint64_t>(freq_, data.size());
+  const auto targets = rng.sample_without_replacement(data.size(), count);
+  for (const auto idx : targets) {
+    // Saturating add keeps the corrupted accumulator representable; a timing
+    // fault cannot produce a value outside the 32-bit register anyway.
+    const std::int64_t v = static_cast<std::int64_t>(data[idx]) + mag_;
+    const std::int64_t lo = std::numeric_limits<std::int32_t>::min();
+    const std::int64_t hi = std::numeric_limits<std::int32_t>::max();
+    data[idx] = static_cast<std::int32_t>(std::clamp(v, lo, hi));
+  }
+  report.corrupted_values = count;
+  report.flipped_bits = count;  // one logical upset per element
+  return report;
+}
+
+}  // namespace realm::fault

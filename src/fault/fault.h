@@ -1,0 +1,98 @@
+// Fault models for transient computational errors (paper Sec. III).
+//
+// The paper's error model: timing violations in the systolic array datapath
+// manifest as bit flips in the INT32 GEMM accumulation results; memory is
+// assumed ECC-protected and permanent faults are screened offline, so only
+// the compute path is attacked. Two injector families are provided:
+//
+//  * RandomBitFlipInjector — the runtime model: each (element, bit) pair in a
+//    configurable bit range flips independently with probability BER. Timing
+//    errors preferentially hit high-order bits (long carry chains miss
+//    timing first), hence the default high-bit range.
+//  * MagFreqInjector — the characterization model of Sec. III-B: exactly
+//    `freq` elements receive an identical additive error of magnitude `mag`,
+//    so MSD = freq × mag is controlled exactly. Used to map the critical
+//    region of Fig. 6.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "util/rng.h"
+
+namespace realm::fault {
+
+/// Outcome of one injection pass over a tensor.
+struct InjectionReport {
+  std::uint64_t flipped_bits = 0;      ///< number of individual bit flips applied
+  std::uint64_t corrupted_values = 0;  ///< number of distinct elements touched
+};
+
+/// Interface for anything that can corrupt an INT32 accumulator tensor.
+class FaultInjector {
+ public:
+  virtual ~FaultInjector() = default;
+  virtual InjectionReport inject(std::span<std::int32_t> data, util::Rng& rng) const = 0;
+};
+
+/// Bit flips with independent per-bit probability `ber` over bits
+/// [bit_lo, bit_hi] inclusive of each element.
+class RandomBitFlipInjector final : public FaultInjector {
+ public:
+  /// @param ber      per-bit flip probability (0 disables injection)
+  /// @param bit_lo   lowest attackable bit (0 = LSB)
+  /// @param bit_hi   highest attackable bit (31 = sign bit of int32)
+  RandomBitFlipInjector(double ber, int bit_lo = 16, int bit_hi = 31);
+
+  InjectionReport inject(std::span<std::int32_t> data, util::Rng& rng) const override;
+
+  [[nodiscard]] double ber() const noexcept { return ber_; }
+  [[nodiscard]] int bit_lo() const noexcept { return bit_lo_; }
+  [[nodiscard]] int bit_hi() const noexcept { return bit_hi_; }
+
+ private:
+  double ber_;
+  int bit_lo_;
+  int bit_hi_;
+};
+
+/// Single-bit variant: attacks exactly one bit position with per-element
+/// probability `ber` (the protocol of research questions Q1.1–Q2.2, which pin
+/// the 30th bit).
+class SingleBitFlipInjector final : public FaultInjector {
+ public:
+  SingleBitFlipInjector(double ber, int bit);
+
+  InjectionReport inject(std::span<std::int32_t> data, util::Rng& rng) const override;
+
+  [[nodiscard]] int bit() const noexcept { return bit_; }
+
+ private:
+  double ber_;
+  int bit_;
+};
+
+/// Adds +mag to exactly `freq` distinct uniformly chosen elements (clamped to
+/// tensor size). Matches the Sec. III-B protocol: identical errors, exact
+/// MSD = freq * mag.
+class MagFreqInjector final : public FaultInjector {
+ public:
+  MagFreqInjector(std::int64_t mag, std::uint64_t freq);
+
+  InjectionReport inject(std::span<std::int32_t> data, util::Rng& rng) const override;
+
+  [[nodiscard]] std::int64_t mag() const noexcept { return mag_; }
+  [[nodiscard]] std::uint64_t freq() const noexcept { return freq_; }
+
+ private:
+  std::int64_t mag_;
+  std::uint64_t freq_;
+};
+
+/// No-op injector (golden runs).
+class NullInjector final : public FaultInjector {
+ public:
+  InjectionReport inject(std::span<std::int32_t>, util::Rng&) const override { return {}; }
+};
+
+}  // namespace realm::fault

@@ -1,0 +1,101 @@
+#include "tensor/checksum.h"
+
+#include <cstdlib>
+#include <stdexcept>
+
+namespace realm::tensor {
+
+namespace {
+
+template <typename T>
+std::vector<std::int64_t> col_sums_impl(const Mat<T>& m) {
+  std::vector<std::int64_t> sums(m.cols(), 0);
+  for (std::size_t r = 0; r < m.rows(); ++r) {
+    const T* row = m.data() + r * m.cols();
+    for (std::size_t c = 0; c < m.cols(); ++c) sums[c] += static_cast<std::int64_t>(row[c]);
+  }
+  return sums;
+}
+
+template <typename T>
+std::vector<std::int64_t> row_sums_impl(const Mat<T>& m) {
+  std::vector<std::int64_t> sums(m.rows(), 0);
+  for (std::size_t r = 0; r < m.rows(); ++r) {
+    const T* row = m.data() + r * m.cols();
+    std::int64_t acc = 0;
+    for (std::size_t c = 0; c < m.cols(); ++c) acc += static_cast<std::int64_t>(row[c]);
+    sums[r] = acc;
+  }
+  return sums;
+}
+
+}  // namespace
+
+std::vector<std::int64_t> col_sums(const MatI8& m) { return col_sums_impl(m); }
+std::vector<std::int64_t> col_sums(const MatI32& m) { return col_sums_impl(m); }
+std::vector<std::int64_t> row_sums(const MatI8& m) { return row_sums_impl(m); }
+std::vector<std::int64_t> row_sums(const MatI32& m) { return row_sums_impl(m); }
+
+std::vector<std::int64_t> predict_col_checksum(const MatI8& a, const MatI8& b) {
+  if (a.cols() != b.rows()) throw std::invalid_argument("predict_col_checksum: dim mismatch");
+  const std::vector<std::int64_t> ea = col_sums(a);  // 1 x k
+  std::vector<std::int64_t> out(b.cols(), 0);
+  for (std::size_t kk = 0; kk < b.rows(); ++kk) {
+    const std::int64_t av = ea[kk];
+    if (av == 0) continue;
+    const std::int8_t* brow = b.data() + kk * b.cols();
+    for (std::size_t j = 0; j < b.cols(); ++j) out[j] += av * static_cast<std::int64_t>(brow[j]);
+  }
+  return out;
+}
+
+std::vector<std::int64_t> predict_row_checksum(const MatI8& a, const MatI8& b) {
+  if (a.cols() != b.rows()) throw std::invalid_argument("predict_row_checksum: dim mismatch");
+  const std::vector<std::int64_t> be = row_sums(b);  // k x 1
+  std::vector<std::int64_t> out(a.rows(), 0);
+  for (std::size_t i = 0; i < a.rows(); ++i) {
+    const std::int8_t* arow = a.data() + i * a.cols();
+    std::int64_t acc = 0;
+    for (std::size_t kk = 0; kk < a.cols(); ++kk) {
+      acc += static_cast<std::int64_t>(arow[kk]) * be[kk];
+    }
+    out[i] = acc;
+  }
+  return out;
+}
+
+ColumnDeviation column_deviation_from_predicted(const std::vector<std::int64_t>& predicted,
+                                                const MatI32& c) {
+  if (predicted.size() != c.cols()) {
+    throw std::invalid_argument("column_deviation: checksum length mismatch");
+  }
+  ColumnDeviation dev;
+  dev.diff.resize(c.cols());
+  const std::vector<std::int64_t> observed = col_sums(c);
+  std::int64_t signed_sum = 0;
+  std::uint64_t l1 = 0;
+  for (std::size_t j = 0; j < c.cols(); ++j) {
+    const std::int64_t d = observed[j] - predicted[j];
+    dev.diff[j] = d;
+    signed_sum += d;
+    l1 += static_cast<std::uint64_t>(std::llabs(d));
+  }
+  dev.msd_signed = signed_sum;
+  dev.msd_abs = static_cast<std::uint64_t>(std::llabs(signed_sum));
+  dev.l1 = l1;
+  return dev;
+}
+
+ColumnDeviation column_deviation(const MatI8& a, const MatI8& b, const MatI32& c) {
+  return column_deviation_from_predicted(predict_col_checksum(a, b), c);
+}
+
+std::vector<std::int64_t> row_deviation(const MatI8& a, const MatI8& b, const MatI32& c) {
+  const std::vector<std::int64_t> predicted = predict_row_checksum(a, b);
+  const std::vector<std::int64_t> observed = row_sums(c);
+  std::vector<std::int64_t> diff(predicted.size());
+  for (std::size_t i = 0; i < predicted.size(); ++i) diff[i] = observed[i] - predicted[i];
+  return diff;
+}
+
+}  // namespace realm::tensor

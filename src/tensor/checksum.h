@@ -1,0 +1,64 @@
+// ABFT checksum primitives (Fig. 3 of the paper).
+//
+// For Y = A·B, the column-checksum identity is eᵀY = (eᵀA)·B and the
+// row-checksum identity is Y·e = A·(B·e). Classical ABFT checks both sides;
+// one-sided / MSD schemes check only columns; ReaLM's statistical unit
+// consumes the per-column deviation vector d and its sum (the matrix-sum
+// deviation, MSD = eᵀY·e − eᵀA·B·e).
+//
+// All checksum arithmetic is int64 here; reduced hardware widths (16-bit eᵀW
+// row, 32-bit accumulator buses) are modeled separately in realm::sa, which
+// reuses these exact functions with clamping.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace realm::tensor {
+
+/// eᵀM: per-column sums (length = cols).
+[[nodiscard]] std::vector<std::int64_t> col_sums(const MatI8& m);
+[[nodiscard]] std::vector<std::int64_t> col_sums(const MatI32& m);
+
+/// M·e: per-row sums (length = rows).
+[[nodiscard]] std::vector<std::int64_t> row_sums(const MatI8& m);
+[[nodiscard]] std::vector<std::int64_t> row_sums(const MatI32& m);
+
+/// Predicted column checksum of A·B, i.e. (eᵀA)·B, computed from the inputs.
+[[nodiscard]] std::vector<std::int64_t> predict_col_checksum(const MatI8& a, const MatI8& b);
+
+/// Predicted row checksum of A·B, i.e. A·(B·e).
+[[nodiscard]] std::vector<std::int64_t> predict_row_checksum(const MatI8& a, const MatI8& b);
+
+/// Per-column deviations and their aggregates for an (possibly faulty)
+/// output C of A·B. diff[j] = (eᵀC)_j − ((eᵀA)·B)_j, which equals the sum of
+/// all error values injected into column j.
+struct ColumnDeviation {
+  std::vector<std::int64_t> diff;  ///< per-column signed deviation
+  std::int64_t msd_signed = 0;     ///< Σ diff (what the Fig. 7c accumulator computes)
+  std::uint64_t msd_abs = 0;       ///< |Σ diff|
+  std::uint64_t l1 = 0;            ///< Σ |diff| (ablation alternative; see DESIGN.md §6)
+
+  [[nodiscard]] bool any_nonzero() const noexcept {
+    for (const auto d : diff) {
+      if (d != 0) return true;
+    }
+    return false;
+  }
+};
+
+[[nodiscard]] ColumnDeviation column_deviation(const MatI8& a, const MatI8& b, const MatI32& c);
+
+/// Deviation computed from a precomputed predicted checksum (the hardware
+/// keeps eᵀW resident with the stationary weights, so prediction cost is paid
+/// once per weight tile, not once per GEMM).
+[[nodiscard]] ColumnDeviation column_deviation_from_predicted(
+    const std::vector<std::int64_t>& predicted, const MatI32& c);
+
+/// Row-side deviation for two-sided (classical) ABFT.
+[[nodiscard]] std::vector<std::int64_t> row_deviation(const MatI8& a, const MatI8& b,
+                                                      const MatI32& c);
+
+}  // namespace realm::tensor

@@ -1,0 +1,31 @@
+// GEMM kernels: INT8 x INT8 -> INT32 (the accelerator datapath under test)
+// plus an FP32 reference. The integer kernel is the single hot loop of the
+// repository; it is blocked for L1 reuse but deliberately scalar — results
+// must be bit-exact and deterministic across machines because fault-injection
+// compares accumulators bit by bit.
+#pragma once
+
+#include <cstdint>
+
+#include "tensor/tensor.h"
+
+namespace realm::tensor {
+
+/// C[m x n] = A[m x k] * B[k x n], int8 inputs, int32 accumulation.
+/// INT32 cannot overflow for k <= 2^17 with int8 operands (127*127*k < 2^31),
+/// which every model configuration in this repo satisfies; an assert guards
+/// the bound in debug builds.
+void gemm_i8(const MatI8& a, const MatI8& b, MatI32& c);
+
+/// Convenience allocating overload.
+[[nodiscard]] MatI32 gemm_i8(const MatI8& a, const MatI8& b);
+
+/// C[m x n] = A[m x k] * B^T where bt is stored [n x k] (row-major). Used for
+/// attention scores Q*K^T where K rows are cache entries.
+void gemm_i8_bt(const MatI8& a, const MatI8& bt, MatI32& c);
+[[nodiscard]] MatI32 gemm_i8_bt(const MatI8& a, const MatI8& bt);
+
+/// FP32 reference GEMM (tests and golden comparisons only).
+[[nodiscard]] MatF gemm_f32(const MatF& a, const MatF& b);
+
+}  // namespace realm::tensor

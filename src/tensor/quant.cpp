@@ -1,0 +1,50 @@
+#include "tensor/quant.h"
+
+#include <algorithm>
+
+namespace realm::tensor {
+
+QuantParams calibrate(std::span<const float> sample, float max_abs_floor) {
+  float max_abs = max_abs_floor;
+  for (const float x : sample) max_abs = std::max(max_abs, std::abs(x));
+  return QuantParams{max_abs / 127.0f};
+}
+
+MatI8 quantize(const MatF& x, QuantParams qp) {
+  MatI8 out(x.rows(), x.cols());
+  const auto src = x.flat();
+  const auto dst = out.flat();
+  for (std::size_t i = 0; i < src.size(); ++i) dst[i] = qp.quantize(src[i]);
+  return out;
+}
+
+MatF dequantize(const MatI8& q, QuantParams qp) {
+  MatF out(q.rows(), q.cols());
+  const auto src = q.flat();
+  const auto dst = out.flat();
+  for (std::size_t i = 0; i < src.size(); ++i) dst[i] = qp.dequantize(src[i]);
+  return out;
+}
+
+MatF dequantize_acc(const MatI32& acc, QuantParams a, QuantParams b) {
+  MatF out(acc.rows(), acc.cols());
+  const float s = a.scale * b.scale;
+  const auto src = acc.flat();
+  const auto dst = out.flat();
+  for (std::size_t i = 0; i < src.size(); ++i) dst[i] = static_cast<float>(src[i]) * s;
+  return out;
+}
+
+MatI8 requantize_acc(const MatI32& acc, QuantParams a, QuantParams b, QuantParams out_qp) {
+  MatI8 out(acc.rows(), acc.cols());
+  const float s = a.scale * b.scale / out_qp.scale;
+  const auto src = acc.flat();
+  const auto dst = out.flat();
+  for (std::size_t i = 0; i < src.size(); ++i) {
+    const float q = std::nearbyint(static_cast<float>(src[i]) * s);
+    dst[i] = static_cast<std::int8_t>(std::clamp(q, -127.0f, 127.0f));
+  }
+  return out;
+}
+
+}  // namespace realm::tensor

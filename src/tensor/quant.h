@@ -1,0 +1,56 @@
+// Symmetric per-tensor INT8 quantization, following the SmoothQuant-style W8A8
+// scheme the paper adopts (Sec. II-A): GEMM inputs are INT8, accumulators are
+// INT32, nonlinearities run in float.
+//
+// Scales are *static* (calibrated on a fault-free run) rather than dynamic.
+// This is both what production W8A8 serving does and load-bearing for the
+// paper's bit-wise resilience insight (Q1.2): a corrupted activation cannot
+// inflate its own scale, so high-bit errors saturate at clamp on
+// re-quantization.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <span>
+#include <stdexcept>
+
+#include "tensor/tensor.h"
+
+namespace realm::tensor {
+
+/// Scale for symmetric quantization: real = q * scale, q in [-127, 127].
+struct QuantParams {
+  float scale = 1.0f;
+
+  [[nodiscard]] std::int8_t quantize(float x) const noexcept {
+    const float q = std::nearbyint(x / scale);
+    if (q > 127.0f) return 127;
+    if (q < -127.0f) return -127;
+    return static_cast<std::int8_t>(q);
+  }
+
+  [[nodiscard]] float dequantize(std::int8_t q) const noexcept {
+    return static_cast<float>(q) * scale;
+  }
+};
+
+/// Calibrate a symmetric scale from the max absolute value of a sample.
+/// A floor avoids degenerate zero scales for all-zero tensors.
+[[nodiscard]] QuantParams calibrate(std::span<const float> sample, float max_abs_floor = 1e-6f);
+
+/// Quantize a float matrix with the given (pre-calibrated) parameters.
+[[nodiscard]] MatI8 quantize(const MatF& x, QuantParams qp);
+
+/// Dequantize an INT32 accumulator matrix: real = acc * (scale_a * scale_b).
+[[nodiscard]] MatF dequantize_acc(const MatI32& acc, QuantParams a, QuantParams b);
+
+/// Dequantize an INT8 matrix.
+[[nodiscard]] MatF dequantize(const MatI8& q, QuantParams qp);
+
+/// Requantize an INT32 GEMM result directly to INT8 with an output scale,
+/// i.e. round(acc * (sa*sb) / s_out) clamped to [-127,127]. This models the
+/// accelerator's output-stage requantizer, the saturation point of Q1.2.
+[[nodiscard]] MatI8 requantize_acc(const MatI32& acc, QuantParams a, QuantParams b,
+                                   QuantParams out);
+
+}  // namespace realm::tensor

@@ -1,0 +1,45 @@
+// Small integer/bit helpers shared by the fault models and the hardware-style
+// statistical unit (which uses integer log2 the way an RTL priority encoder
+// would).
+#pragma once
+
+#include <bit>
+#include <cstdint>
+#include <cstdlib>
+
+namespace realm::util {
+
+/// Integer floor(log2(x)) for x >= 1; ilog2(0) is defined as 0 so hardware
+/// models never see a poison value (matches a priority encoder with a
+/// zero-input bypass).
+[[nodiscard]] constexpr int ilog2_u64(std::uint64_t x) noexcept {
+  return x == 0 ? 0 : 63 - std::countl_zero(x);
+}
+
+/// floor(log2(|x|)) of a signed value, 0 for x == 0.
+[[nodiscard]] constexpr int ilog2_abs(std::int64_t x) noexcept {
+  const std::uint64_t mag =
+      x < 0 ? static_cast<std::uint64_t>(-(x + 1)) + 1ULL : static_cast<std::uint64_t>(x);
+  return ilog2_u64(mag);
+}
+
+/// Saturating signed 64-bit addition (the statistical unit's MSD accumulator
+/// saturates instead of wrapping; wrap-around would alias a huge deviation to
+/// a small one and mask an error burst).
+[[nodiscard]] constexpr std::int64_t sat_add_i64(std::int64_t a, std::int64_t b) noexcept {
+  std::int64_t out = 0;
+  if (__builtin_add_overflow(a, b, &out)) {
+    return b > 0 ? INT64_MAX : INT64_MIN;
+  }
+  return out;
+}
+
+/// Clamp a 64-bit value into n-bit signed range (models reduced-width
+/// checksum datapaths, e.g. the 16-bit eTW row of Fig. 7).
+[[nodiscard]] constexpr std::int64_t clamp_to_bits(std::int64_t v, int bits) noexcept {
+  const std::int64_t hi = (1LL << (bits - 1)) - 1;
+  const std::int64_t lo = -hi - 1;
+  return v > hi ? hi : (v < lo ? lo : v);
+}
+
+}  // namespace realm::util

@@ -1,0 +1,87 @@
+#include "util/rng.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+namespace realm::util {
+
+std::uint64_t Rng::binomial(std::uint64_t n, double p) noexcept {
+  if (n == 0 || p <= 0.0) return 0;
+  if (p >= 1.0) return n;
+
+  const double np = static_cast<double>(n) * p;
+  // Exact geometric-skip sampling when the expected count is small: walk the
+  // gaps between successes. Expected work is O(np), independent of n.
+  if (np < 64.0) {
+    const double log_q = std::log1p(-p);
+    std::uint64_t count = 0;
+    double position = 0.0;
+    for (;;) {
+      double u = uniform();
+      while (u <= 0.0) u = uniform();
+      position += std::floor(std::log(u) / log_q) + 1.0;
+      if (position > static_cast<double>(n)) break;
+      ++count;
+    }
+    return count;
+  }
+
+  // Gaussian approximation with continuity correction; error is negligible
+  // relative to run-to-run Monte-Carlo noise at np >= 64.
+  const double sigma = std::sqrt(np * (1.0 - p));
+  const double sample = std::round(normal(np, sigma));
+  if (sample < 0.0) return 0;
+  if (sample > static_cast<double>(n)) return n;
+  return static_cast<std::uint64_t>(sample);
+}
+
+std::uint64_t Rng::zipf(std::uint64_t n, double s) noexcept {
+  if (n <= 1) return 0;
+  // Rejection-inversion (Hormann & Derflinger) is overkill here; the corpus
+  // generator only needs qualitative skew, so use the classic inverse-CDF
+  // over the harmonic partial sums with a cached normalizer for small n and
+  // a two-region approximation otherwise.
+  const double x = uniform();
+  // Invert an approximate CDF: F(k) ~ H(k)/H(n) with H(k) ≈ (k^(1-s)-1)/(1-s)
+  // for s != 1 and ln k for s == 1.
+  auto h = [s](double k) {
+    if (std::abs(s - 1.0) < 1e-9) return std::log(k);
+    return (std::pow(k, 1.0 - s) - 1.0) / (1.0 - s);
+  };
+  const double hn = h(static_cast<double>(n) + 0.5) - h(0.5);
+  const double target = x * hn + h(0.5);
+  double k;
+  if (std::abs(s - 1.0) < 1e-9) {
+    k = std::exp(target);
+  } else {
+    const double base = target * (1.0 - s) + 1.0;
+    k = base > 0.0 ? std::pow(base, 1.0 / (1.0 - s)) : 1.0;
+  }
+  const auto idx = static_cast<std::uint64_t>(std::clamp(k - 0.5, 0.0, static_cast<double>(n - 1)));
+  return idx;
+}
+
+std::vector<std::uint64_t> Rng::sample_without_replacement(std::uint64_t n,
+                                                           std::uint64_t k) noexcept {
+  if (k >= n) {
+    std::vector<std::uint64_t> all(n);
+    for (std::uint64_t i = 0; i < n; ++i) all[i] = i;
+    return all;
+  }
+  // Floyd's algorithm: O(k) expected time, no O(n) scratch.
+  std::unordered_set<std::uint64_t> chosen;
+  std::vector<std::uint64_t> result;
+  result.reserve(k);
+  for (std::uint64_t j = n - k; j < n; ++j) {
+    const std::uint64_t t = uniform_u64(j + 1);
+    if (chosen.insert(t).second) {
+      result.push_back(t);
+    } else {
+      chosen.insert(j);
+      result.push_back(j);
+    }
+  }
+  return result;
+}
+
+}  // namespace realm::util

@@ -1,0 +1,41 @@
+// Console table / CSV emission for the benchmark harness. Every figure and
+// table bench prints through TablePrinter so the output format matches the
+// rows/series the paper reports.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace realm::util {
+
+/// Column-aligned ASCII table with an optional title. Cells are strings;
+/// numeric helpers format with fixed precision so sweeps line up visually.
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::string title = {}) : title_(std::move(title)) {}
+
+  TablePrinter& header(std::vector<std::string> cols);
+  TablePrinter& row(std::vector<std::string> cells);
+
+  /// Render with box-drawing separators to the given stream.
+  void print(std::ostream& os) const;
+
+  /// Render as RFC-4180-ish CSV (no quoting of embedded commas; cells are
+  /// generated internally and never contain them).
+  void print_csv(std::ostream& os) const;
+
+  [[nodiscard]] std::size_t row_count() const noexcept { return rows_.size(); }
+
+  // Formatting helpers used by all benches.
+  static std::string num(double v, int precision = 3);
+  static std::string sci(double v, int precision = 2);
+  static std::string pct(double v, int precision = 2);  ///< 0.231 -> "23.10%"
+
+ private:
+  std::string title_;
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace realm::util
