@@ -1,0 +1,161 @@
+#include "detect/detect.h"
+
+#include <algorithm>
+#include <stdexcept>
+#include <utility>
+
+#include "tensor/gemm.h"
+#include "util/bitmath.h"
+
+namespace realm::detect {
+
+namespace {
+
+/// Fill the checksum-derived fields of a verdict from a column deviation.
+void load_column_stats(DetectionVerdict& v, const tensor::ColumnDeviation& dev,
+                       int datapath_bits) {
+  const std::int64_t clamped = util::clamp_to_bits(dev.msd_signed, datapath_bits);
+  v.msd_signed = clamped;
+  v.msd_abs = util::abs_u64(clamped);
+  v.l1 = dev.l1;
+  v.max_dev_pow2 = 0;
+  for (const auto d : dev.diff) {
+    if (d != 0) v.max_dev_pow2 = std::max(v.max_dev_pow2, util::ilog2_abs(d));
+  }
+}
+
+/// Full screen an accumulator must pass to count as clean: MSD within
+/// threshold, and in two-sided mode zero deviation on both the column and
+/// row sides. Used for the initial verdict AND the post-recompute recheck so
+/// a correction is only certified by the same criteria that flagged it.
+bool screen_clean(const DetectionConfig& cfg, const tensor::MatI8& a8,
+                  const std::vector<std::int64_t>& w_row_basis,
+                  const std::vector<std::int64_t>& predicted_cols,
+                  const tensor::MatI32& acc) {
+  const tensor::ColumnDeviation dev =
+      tensor::column_deviation_from_predicted(predicted_cols, acc);
+  if (util::abs_u64(util::clamp_to_bits(dev.msd_signed, cfg.msd_datapath_bits)) >
+      cfg.msd_threshold) {
+    return false;
+  }
+  if (cfg.mode == CheckMode::kTwoSided) {
+    if (dev.any_nonzero()) return false;
+    const std::vector<std::int64_t> predicted_rows =
+        tensor::predict_row_checksum(a8, w_row_basis);
+    const std::vector<std::int64_t> observed_rows = tensor::row_sums(acc);
+    for (std::size_t i = 0; i < predicted_rows.size(); ++i) {
+      if (util::sat_sub_i64(observed_rows[i], predicted_rows[i]) != 0) return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+const char* to_string(Verdict v) noexcept {
+  switch (v) {
+    case Verdict::kClean: return "clean";
+    case Verdict::kDetected: return "detected";
+    case Verdict::kCorrected: return "corrected";
+  }
+  return "?";
+}
+
+ProtectedGemm::ProtectedGemm(DetectionConfig cfg) : cfg_(cfg) {
+  if (cfg_.msd_datapath_bits < 1) {
+    throw std::invalid_argument("ProtectedGemm: msd_datapath_bits must be >= 1");
+  }
+}
+
+void ProtectedGemm::set_weights(const tensor::MatF& w) {
+  const tensor::QuantParams qw = tensor::calibrate(w.flat());
+  set_weights_quantized(tensor::quantize(w, qw), qw);
+}
+
+void ProtectedGemm::set_weights_quantized(tensor::MatI8 w8, tensor::QuantParams qw) {
+  if (w8.empty()) throw std::invalid_argument("ProtectedGemm: empty weights");
+  w8_ = std::move(w8);
+  qw_ = qw;
+  w_row_basis_ = tensor::row_sums(w8_);
+}
+
+ProtectedGemmResult ProtectedGemm::run(const tensor::MatF& a,
+                                       const fault::FaultInjector& injector,
+                                       util::Rng& rng) const {
+  const tensor::QuantParams qa = tensor::calibrate(a.flat());
+  return run_quantized(tensor::quantize(a, qa), qa, injector, rng);
+}
+
+ProtectedGemmResult ProtectedGemm::run_quantized(const tensor::MatI8& a8,
+                                                 tensor::QuantParams qa,
+                                                 const fault::FaultInjector& injector,
+                                                 util::Rng& rng) const {
+  if (w8_.empty()) throw std::logic_error("ProtectedGemm: set_weights() not called");
+  if (a8.cols() != w8_.rows()) {
+    throw std::invalid_argument("ProtectedGemm: activation/weight dim mismatch");
+  }
+
+  ProtectedGemmResult result;
+  result.acc = tensor::gemm_i8(a8, w8_);
+  result.report.injection = injector.inject(result.acc.flat(), rng);
+
+  // Column side: predicted (eᵀA)·W vs observed eᵀC, MSD thresholding.
+  const std::vector<std::int64_t> predicted_cols = tensor::predict_col_checksum(a8, w8_);
+  tensor::ColumnDeviation dev =
+      tensor::column_deviation_from_predicted(predicted_cols, result.acc);
+  load_column_stats(result.report, dev, cfg_.msd_datapath_bits);
+
+  bool flagged = result.report.msd_abs > cfg_.msd_threshold;
+  if (cfg_.mode == CheckMode::kTwoSided) {
+    for (std::size_t j = 0; j < dev.diff.size(); ++j) {
+      if (dev.diff[j] != 0) result.report.fault_cols.push_back(j);
+    }
+    const std::vector<std::int64_t> predicted_rows =
+        tensor::predict_row_checksum(a8, w_row_basis_);
+    const std::vector<std::int64_t> observed_rows = tensor::row_sums(result.acc);
+    for (std::size_t i = 0; i < predicted_rows.size(); ++i) {
+      if (util::sat_sub_i64(observed_rows[i], predicted_rows[i]) != 0) {
+        result.report.fault_rows.push_back(i);
+      }
+    }
+    // The row side must participate in the verdict, not just localization:
+    // opposite-sign errors in one column cancel in every column statistic
+    // (zero diff, zero MSD) but still perturb two row sums — the case
+    // classical two-sided ABFT exists to catch.
+    flagged = flagged || !result.report.fault_cols.empty() ||
+              !result.report.fault_rows.empty();
+  }
+
+  if (flagged) {
+    result.report.verdict = Verdict::kDetected;
+    if (cfg_.recompute_on_detect) {
+      // Fault-free replay of the tile; re-screen with the full criteria so a
+      // correction is only claimed when the recheck actually comes back clean
+      // (a column-only recheck would certify row-detected fault classes it
+      // never re-examined).
+      tensor::gemm_i8(a8, w8_, result.acc);
+      if (screen_clean(cfg_, a8, w_row_basis_, predicted_cols, result.acc)) {
+        result.report.verdict = Verdict::kCorrected;
+      }
+    }
+  }
+
+  result.output = tensor::dequantize_acc(result.acc, qa, qw_);
+  return result;
+}
+
+std::uint64_t calibrate_msd_threshold(const ProtectedGemm& pg, std::size_t m,
+                                      std::size_t golden_runs, util::Rng& rng) {
+  const std::size_t k = pg.weights().rows();
+  std::uint64_t worst = 0;
+  const fault::NullInjector none;
+  for (std::size_t run = 0; run < golden_runs; ++run) {
+    tensor::MatF a(m, k);
+    for (auto& x : a.flat()) x = static_cast<float>(rng.normal());
+    const ProtectedGemmResult r = pg.run(a, none, rng);
+    worst = std::max(worst, r.report.msd_abs);
+  }
+  return worst;
+}
+
+}  // namespace realm::detect

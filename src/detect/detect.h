@@ -1,0 +1,127 @@
+// Protected-GEMM detection pipeline (the paper's end-to-end flow, Fig. 3+7).
+//
+// ProtectedGemm wires together every layer of the stack: float operands are
+// quantized through realm::tensor::{calibrate,quantize}, multiplied on the
+// INT8 datapath (gemm_i8), attacked by a pluggable realm::fault::FaultInjector
+// modelling timing upsets in the accumulator, and then screened by the
+// statistical unit: the predicted column checksum (eᵀA)·B is compared against
+// the observed eᵀC, the mean-signed-deviation statistic (MSD) is thresholded,
+// and — when two-sided checking is enabled — the row×column intersection of
+// nonzero deviations localizes the faulty elements. A detected GEMM can be
+// corrected by fault-free recompute (the paper's fallback: replay the tile).
+//
+// The weight operand is stationary, matching the accelerator: set_weights()
+// quantizes once and precomputes the weight-side checksum basis W·e, making
+// the row-side check O(m·k) per GEMM. The column side still predicts
+// (eᵀA)·W each run, so total checking cost is O(k·n + m·k + m·n) against the
+// O(m·k·n) GEMM — amortized only when m (the batch/sequence dim) is large;
+// at m = 1 decode shapes the O(k·n) column prediction dominates.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "fault/fault.h"
+#include "tensor/checksum.h"
+#include "tensor/quant.h"
+#include "tensor/tensor.h"
+#include "util/rng.h"
+
+namespace realm::detect {
+
+/// What the detector concluded about one protected GEMM.
+enum class Verdict : std::uint8_t {
+  kClean,      ///< no deviation above threshold; output served as-is
+  kDetected,   ///< fault flagged, correction disabled or recompute still dirty
+  kCorrected,  ///< fault flagged, recompute verified clean
+};
+
+[[nodiscard]] const char* to_string(Verdict v) noexcept;
+
+/// How the MSD statistic is compared against the threshold.
+enum class CheckMode : std::uint8_t {
+  kMsdOnly,   ///< one-sided: flag iff |MSD| > threshold (paper default)
+  kTwoSided,  ///< additionally flag any nonzero per-column deviation and
+              ///< compute row deviations for localization
+};
+
+struct DetectionConfig {
+  /// |MSD| strictly greater than this flags a fault. Checksums are exact
+  /// integer identities, so 0 gives zero false positives on golden runs.
+  std::uint64_t msd_threshold = 0;
+  CheckMode mode = CheckMode::kTwoSided;
+  /// Recompute the GEMM (fault-free replay) when a fault is flagged.
+  bool recompute_on_detect = true;
+  /// Width of the modeled MSD accumulator datapath; the signed MSD is clamped
+  /// with util::clamp_to_bits before thresholding (64 = full precision).
+  int msd_datapath_bits = 64;
+};
+
+struct DetectionVerdict {
+  Verdict verdict = Verdict::kClean;
+  std::int64_t msd_signed = 0;  ///< after datapath clamping
+  std::uint64_t msd_abs = 0;
+  std::uint64_t l1 = 0;
+  /// floor(log2(max |per-column deviation|)); 0 when clean. The magnitude
+  /// axis of the paper's critical-region map (Fig. 6).
+  int max_dev_pow2 = 0;
+  /// Columns/rows with nonzero deviation (kTwoSided only); their cross
+  /// product localizes candidate faulty elements.
+  std::vector<std::size_t> fault_cols;
+  std::vector<std::size_t> fault_rows;
+  fault::InjectionReport injection;  ///< what the injector reported doing
+
+  [[nodiscard]] bool faulty() const noexcept { return verdict != Verdict::kClean; }
+};
+
+struct ProtectedGemmResult {
+  tensor::MatI32 acc;      ///< final accumulator (recomputed when corrected)
+  tensor::MatF output;     ///< dequantized float output of `acc`
+  DetectionVerdict report;
+};
+
+class ProtectedGemm {
+ public:
+  explicit ProtectedGemm(DetectionConfig cfg = {});
+
+  /// Calibrate + quantize the stationary weight operand and precompute its
+  /// checksum basis W·e. Must be called before run()/run_quantized().
+  void set_weights(const tensor::MatF& w);
+
+  /// Use pre-quantized weights directly (tests and the bench drive this).
+  void set_weights_quantized(tensor::MatI8 w8, tensor::QuantParams qw);
+
+  /// Full pipeline on float activations: calibrate+quantize A, multiply,
+  /// inject, detect/correct, dequantize.
+  [[nodiscard]] ProtectedGemmResult run(const tensor::MatF& a,
+                                        const fault::FaultInjector& injector,
+                                        util::Rng& rng) const;
+
+  /// Quantized-domain pipeline (skips activation calibration; exact control
+  /// over the INT8 operands for tests).
+  [[nodiscard]] ProtectedGemmResult run_quantized(const tensor::MatI8& a8,
+                                                  tensor::QuantParams qa,
+                                                  const fault::FaultInjector& injector,
+                                                  util::Rng& rng) const;
+
+  [[nodiscard]] const tensor::MatI8& weights() const noexcept { return w8_; }
+  [[nodiscard]] tensor::QuantParams weight_params() const noexcept { return qw_; }
+  [[nodiscard]] const DetectionConfig& config() const noexcept { return cfg_; }
+
+ private:
+  DetectionConfig cfg_;
+  tensor::MatI8 w8_;
+  tensor::QuantParams qw_;
+  std::vector<std::int64_t> w_row_basis_;  ///< W·e, resident with the weights
+};
+
+/// Run `golden_runs` fault-free GEMMs over random activations and return the
+/// largest |MSD| observed (always 0 for exact integer checksums — the call
+/// exists so threshold calibration is an explicit, testable step rather than
+/// an assumption baked into DetectionConfig).
+[[nodiscard]] std::uint64_t calibrate_msd_threshold(const ProtectedGemm& pg,
+                                                    std::size_t m, std::size_t golden_runs,
+                                                    util::Rng& rng);
+
+}  // namespace realm::detect

@@ -47,15 +47,18 @@ InjectionReport SingleBitFlipInjector::inject(std::span<std::int32_t> data,
                                               util::Rng& rng) const {
   InjectionReport report;
   if (ber_ <= 0.0 || data.empty()) return report;
+  // Sample elements WITHOUT replacement: the protocol attacks one fixed bit,
+  // so two flips landing on the same element would cancel and the reported
+  // corrupted_values would over-count. Distinct targets keep every flip live.
   const std::uint64_t flips = rng.binomial(data.size(), ber_);
-  for (std::uint64_t f = 0; f < flips; ++f) {
-    const std::size_t elem = static_cast<std::size_t>(rng.uniform_u64(data.size()));
-    auto word = static_cast<std::uint32_t>(data[elem]);
+  const auto targets = rng.sample_without_replacement(data.size(), flips);
+  for (const auto idx : targets) {
+    auto word = static_cast<std::uint32_t>(data[idx]);
     word ^= (1u << bit_);
-    data[elem] = static_cast<std::int32_t>(word);
+    data[idx] = static_cast<std::int32_t>(word);
   }
-  report.flipped_bits = flips;
-  report.corrupted_values = flips;
+  report.flipped_bits = targets.size();
+  report.corrupted_values = targets.size();
   return report;
 }
 

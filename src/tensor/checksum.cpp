@@ -1,7 +1,8 @@
 #include "tensor/checksum.h"
 
-#include <cstdlib>
 #include <stdexcept>
+
+#include "util/bitmath.h"
 
 namespace realm::tensor {
 
@@ -49,19 +50,26 @@ std::vector<std::int64_t> predict_col_checksum(const MatI8& a, const MatI8& b) {
   return out;
 }
 
-std::vector<std::int64_t> predict_row_checksum(const MatI8& a, const MatI8& b) {
-  if (a.cols() != b.rows()) throw std::invalid_argument("predict_row_checksum: dim mismatch");
-  const std::vector<std::int64_t> be = row_sums(b);  // k x 1
+std::vector<std::int64_t> predict_row_checksum(const MatI8& a,
+                                               const std::vector<std::int64_t>& b_row_basis) {
+  if (a.cols() != b_row_basis.size()) {
+    throw std::invalid_argument("predict_row_checksum: basis length mismatch");
+  }
   std::vector<std::int64_t> out(a.rows(), 0);
   for (std::size_t i = 0; i < a.rows(); ++i) {
     const std::int8_t* arow = a.data() + i * a.cols();
     std::int64_t acc = 0;
     for (std::size_t kk = 0; kk < a.cols(); ++kk) {
-      acc += static_cast<std::int64_t>(arow[kk]) * be[kk];
+      acc += static_cast<std::int64_t>(arow[kk]) * b_row_basis[kk];
     }
     out[i] = acc;
   }
   return out;
+}
+
+std::vector<std::int64_t> predict_row_checksum(const MatI8& a, const MatI8& b) {
+  if (a.cols() != b.rows()) throw std::invalid_argument("predict_row_checksum: dim mismatch");
+  return predict_row_checksum(a, row_sums(b));
 }
 
 ColumnDeviation column_deviation_from_predicted(const std::vector<std::int64_t>& predicted,
@@ -72,16 +80,19 @@ ColumnDeviation column_deviation_from_predicted(const std::vector<std::int64_t>&
   ColumnDeviation dev;
   dev.diff.resize(c.cols());
   const std::vector<std::int64_t> observed = col_sums(c);
+  // Saturating arithmetic throughout: a wrapped accumulator would alias a
+  // huge deviation to a small one and mask exactly the bursts the MSD
+  // statistic exists to expose (see bitmath.h).
   std::int64_t signed_sum = 0;
   std::uint64_t l1 = 0;
   for (std::size_t j = 0; j < c.cols(); ++j) {
-    const std::int64_t d = observed[j] - predicted[j];
+    const std::int64_t d = util::sat_sub_i64(observed[j], predicted[j]);
     dev.diff[j] = d;
-    signed_sum += d;
-    l1 += static_cast<std::uint64_t>(std::llabs(d));
+    signed_sum = util::sat_add_i64(signed_sum, d);
+    l1 = util::sat_add_u64(l1, util::abs_u64(d));
   }
   dev.msd_signed = signed_sum;
-  dev.msd_abs = static_cast<std::uint64_t>(std::llabs(signed_sum));
+  dev.msd_abs = util::abs_u64(signed_sum);
   dev.l1 = l1;
   return dev;
 }
@@ -94,7 +105,9 @@ std::vector<std::int64_t> row_deviation(const MatI8& a, const MatI8& b, const Ma
   const std::vector<std::int64_t> predicted = predict_row_checksum(a, b);
   const std::vector<std::int64_t> observed = row_sums(c);
   std::vector<std::int64_t> diff(predicted.size());
-  for (std::size_t i = 0; i < predicted.size(); ++i) diff[i] = observed[i] - predicted[i];
+  for (std::size_t i = 0; i < predicted.size(); ++i) {
+    diff[i] = util::sat_sub_i64(observed[i], predicted[i]);
+  }
   return diff;
 }
 

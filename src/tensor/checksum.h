@@ -32,6 +32,12 @@ namespace realm::tensor {
 /// Predicted row checksum of A·B, i.e. A·(B·e).
 [[nodiscard]] std::vector<std::int64_t> predict_row_checksum(const MatI8& a, const MatI8& b);
 
+/// Same, from a precomputed weight basis B·e (= row_sums(b)); the hardware
+/// keeps this resident with the stationary weights so the per-GEMM row-side
+/// cost is O(m·k) instead of O(k·n + m·k).
+[[nodiscard]] std::vector<std::int64_t> predict_row_checksum(
+    const MatI8& a, const std::vector<std::int64_t>& b_row_basis);
+
 /// Per-column deviations and their aggregates for an (possibly faulty)
 /// output C of A·B. diff[j] = (eᵀC)_j − ((eᵀA)·B)_j, which equals the sum of
 /// all error values injected into column j.

@@ -1,6 +1,5 @@
 #include "tensor/gemm.h"
 
-#include <cassert>
 #include <stdexcept>
 
 namespace realm::tensor {
@@ -9,13 +8,24 @@ namespace {
 
 void check_gemm_dims(std::size_t ak, std::size_t bk) {
   if (ak != bk) throw std::invalid_argument("gemm: inner dimensions disagree");
-  assert(ak <= (1u << 17) && "k too large for safe int32 accumulation");
+}
+
+// Int8 paths only — the float reference accumulates in float and has no such
+// bound. Worst-case |dot| = 128*128*k = 2^14*k (raw MatI8 can hold -128, not
+// just the quantizer's ±127); 2^14 * 2^16 = 2^30 fits int32, 2^14 * 2^17 =
+// 2^31 does not. Enforced in release builds too: a silently wrapped
+// accumulator is indistinguishable from the faults this repo exists to detect.
+void check_i8_k_bound(std::size_t k) {
+  if (k > kMaxK) {
+    throw std::invalid_argument("gemm: k exceeds 2^16, int32 accumulation could overflow");
+  }
 }
 
 }  // namespace
 
 void gemm_i8(const MatI8& a, const MatI8& b, MatI32& c) {
   check_gemm_dims(a.cols(), b.rows());
+  check_i8_k_bound(a.cols());
   const std::size_t m = a.rows();
   const std::size_t k = a.cols();
   const std::size_t n = b.cols();
@@ -50,6 +60,7 @@ MatI32 gemm_i8(const MatI8& a, const MatI8& b) {
 
 void gemm_i8_bt(const MatI8& a, const MatI8& bt, MatI32& c) {
   check_gemm_dims(a.cols(), bt.cols());
+  check_i8_k_bound(a.cols());
   const std::size_t m = a.rows();
   const std::size_t k = a.cols();
   const std::size_t n = bt.rows();

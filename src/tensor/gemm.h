@@ -11,10 +11,16 @@
 
 namespace realm::tensor {
 
+/// Largest inner dimension for which int8 x int8 -> int32 accumulation cannot
+/// overflow for ANY int8 operands: worst case is (-128)*(-128)*k = 2^14*k,
+/// and 2^14 * 2^16 = 2^30 < 2^31 - 1, while 2^14 * 2^17 = 2^31 overflows.
+/// (Quantizer-produced operands clamp to ±127 and would be safe to 2^17, but
+/// raw MatI8 can hold -128, so the bound must cover it.) All gemm_i8 variants
+/// throw std::invalid_argument beyond this bound, in release builds too.
+inline constexpr std::size_t kMaxK = std::size_t{1} << 16;
+
 /// C[m x n] = A[m x k] * B[k x n], int8 inputs, int32 accumulation.
-/// INT32 cannot overflow for k <= 2^17 with int8 operands (127*127*k < 2^31),
-/// which every model configuration in this repo satisfies; an assert guards
-/// the bound in debug builds.
+/// Throws std::invalid_argument if k > kMaxK.
 void gemm_i8(const MatI8& a, const MatI8& b, MatI32& c);
 
 /// Convenience allocating overload.

@@ -5,8 +5,10 @@
 // GEMM kernels stay cache-friendly without a general strided-tensor layer.
 #pragma once
 
+#include <algorithm>
 #include <cstddef>
 #include <cstdint>
+#include <limits>
 #include <span>
 #include <stdexcept>
 #include <string>
@@ -23,11 +25,7 @@ class Mat {
   Mat() = default;
 
   Mat(std::size_t rows, std::size_t cols, T fill = T{})
-      : rows_(rows), cols_(cols), data_(rows * cols, fill) {
-    if (rows != 0 && cols != 0 && data_.size() / cols != rows) {
-      throw std::invalid_argument("Mat: size overflow");
-    }
-  }
+      : rows_(rows), cols_(cols), data_(checked_size(rows, cols), fill) {}
 
   [[nodiscard]] std::size_t rows() const noexcept { return rows_; }
   [[nodiscard]] std::size_t cols() const noexcept { return cols_; }
@@ -64,6 +62,16 @@ class Mat {
   bool operator==(const Mat&) const = default;
 
  private:
+  // Validated before data_ is constructed: the wrapped product must never
+  // reach the allocator (a wrapped rows*cols would size a tiny buffer that
+  // unchecked operator() then overruns).
+  static std::size_t checked_size(std::size_t rows, std::size_t cols) {
+    if (cols != 0 && rows > std::numeric_limits<std::size_t>::max() / cols) {
+      throw std::invalid_argument("Mat: size overflow");
+    }
+    return rows * cols;
+  }
+
   void check(std::size_t r, std::size_t c) const {
     if (r >= rows_ || c >= cols_) {
       throw std::out_of_range("Mat::at(" + std::to_string(r) + "," + std::to_string(c) +

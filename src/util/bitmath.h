@@ -16,11 +16,15 @@ namespace realm::util {
   return x == 0 ? 0 : 63 - std::countl_zero(x);
 }
 
+/// |x| as an unsigned value; well-defined for INT64_MIN (where std::llabs is
+/// UB because the result is unrepresentable as int64).
+[[nodiscard]] constexpr std::uint64_t abs_u64(std::int64_t x) noexcept {
+  return x < 0 ? static_cast<std::uint64_t>(-(x + 1)) + 1ULL : static_cast<std::uint64_t>(x);
+}
+
 /// floor(log2(|x|)) of a signed value, 0 for x == 0.
 [[nodiscard]] constexpr int ilog2_abs(std::int64_t x) noexcept {
-  const std::uint64_t mag =
-      x < 0 ? static_cast<std::uint64_t>(-(x + 1)) + 1ULL : static_cast<std::uint64_t>(x);
-  return ilog2_u64(mag);
+  return ilog2_u64(abs_u64(x));
 }
 
 /// Saturating signed 64-bit addition (the statistical unit's MSD accumulator
@@ -34,9 +38,32 @@ namespace realm::util {
   return out;
 }
 
+/// Saturating unsigned 64-bit addition (the L1 deviation aggregate must not
+/// wrap for the same reason the signed MSD must not).
+[[nodiscard]] constexpr std::uint64_t sat_add_u64(std::uint64_t a, std::uint64_t b) noexcept {
+  std::uint64_t out = 0;
+  if (__builtin_add_overflow(a, b, &out)) return UINT64_MAX;
+  return out;
+}
+
+/// Saturating signed 64-bit subtraction (same rationale as sat_add_i64; the
+/// per-column deviation observed − predicted must not wrap either).
+[[nodiscard]] constexpr std::int64_t sat_sub_i64(std::int64_t a, std::int64_t b) noexcept {
+  std::int64_t out = 0;
+  if (__builtin_sub_overflow(a, b, &out)) {
+    return b < 0 ? INT64_MAX : INT64_MIN;
+  }
+  return out;
+}
+
 /// Clamp a 64-bit value into n-bit signed range (models reduced-width
-/// checksum datapaths, e.g. the 16-bit eTW row of Fig. 7).
+/// checksum datapaths, e.g. the 16-bit eTW row of Fig. 7). bits >= 64 is the
+/// identity (the value already fits the datapath); bits <= 0 models a
+/// zero-width bus and clamps everything to 0. Both extremes previously hit
+/// shift UB (1LL << 63 / negative shift counts).
 [[nodiscard]] constexpr std::int64_t clamp_to_bits(std::int64_t v, int bits) noexcept {
+  if (bits >= 64) return v;
+  if (bits <= 0) return 0;
   const std::int64_t hi = (1LL << (bits - 1)) - 1;
   const std::int64_t lo = -hi - 1;
   return v > hi ? hi : (v < lo ? lo : v);

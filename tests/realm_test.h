@@ -1,0 +1,105 @@
+// Minimal self-registering test harness (no external framework in the image).
+//
+// Each test binary defines cases with REALM_TEST(name) { ... } and provides
+// main() via REALM_TEST_MAIN(). Run with no arguments to execute every case,
+// or with a case name to run just that one — CMake registers each case as its
+// own ctest entry so failures are individually visible.
+#pragma once
+
+#include <cstdio>
+#include <cstring>
+#include <functional>
+#include <string>
+#include <vector>
+
+namespace realm::test {
+
+struct Case {
+  const char* name;
+  std::function<void()> fn;
+};
+
+inline std::vector<Case>& registry() {
+  static std::vector<Case> cases;
+  return cases;
+}
+
+struct Registrar {
+  Registrar(const char* name, std::function<void()> fn) {
+    registry().push_back({name, std::move(fn)});
+  }
+};
+
+struct Failure {
+  std::string message;
+};
+
+inline int run(int argc, char** argv) {
+  int failed = 0;
+  int ran = 0;
+  for (const auto& c : registry()) {
+    if (argc > 1 && std::strcmp(argv[1], c.name) != 0) continue;
+    ++ran;
+    try {
+      c.fn();
+      std::printf("[ PASS ] %s\n", c.name);
+    } catch (const Failure& f) {
+      ++failed;
+      std::printf("[ FAIL ] %s: %s\n", c.name, f.message.c_str());
+    } catch (const std::exception& e) {
+      ++failed;
+      std::printf("[ FAIL ] %s: unexpected exception: %s\n", c.name, e.what());
+    }
+  }
+  if (ran == 0) {
+    std::printf("no test case matches '%s'\n", argc > 1 ? argv[1] : "");
+    return 2;
+  }
+  return failed == 0 ? 0 : 1;
+}
+
+}  // namespace realm::test
+
+#define REALM_TEST(name)                                                      \
+  static void realm_test_##name();                                            \
+  static const ::realm::test::Registrar realm_registrar_##name{#name,         \
+                                                               realm_test_##name}; \
+  static void realm_test_##name()
+
+#define REALM_TEST_MAIN()                                                     \
+  int main(int argc, char** argv) { return ::realm::test::run(argc, argv); }
+
+#define REALM_CHECK(cond)                                                     \
+  do {                                                                        \
+    if (!(cond)) {                                                            \
+      throw ::realm::test::Failure{std::string(__FILE__ ":") +                \
+                                   std::to_string(__LINE__) + ": " #cond};    \
+    }                                                                         \
+  } while (0)
+
+#define REALM_CHECK_EQ(a, b)                                                  \
+  do {                                                                        \
+    const auto va = (a);                                                      \
+    const auto vb = (b);                                                      \
+    if (!(va == vb)) {                                                        \
+      throw ::realm::test::Failure{std::string(__FILE__ ":") +                \
+                                   std::to_string(__LINE__) + ": " #a         \
+                                   " == " #b " (got " + std::to_string(va) +  \
+                                   " vs " + std::to_string(vb) + ")"};        \
+    }                                                                         \
+  } while (0)
+
+#define REALM_CHECK_THROWS(expr, exception_type)                              \
+  do {                                                                        \
+    bool realm_thrown = false;                                                \
+    try {                                                                     \
+      (void)(expr);                                                           \
+    } catch (const exception_type&) {                                         \
+      realm_thrown = true;                                                    \
+    }                                                                         \
+    if (!realm_thrown) {                                                      \
+      throw ::realm::test::Failure{std::string(__FILE__ ":") +                \
+                                   std::to_string(__LINE__) + ": " #expr      \
+                                   " did not throw " #exception_type};        \
+    }                                                                         \
+  } while (0)

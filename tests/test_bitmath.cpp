@@ -1,0 +1,52 @@
+#include "util/bitmath.h"
+
+#include <cstdint>
+
+#include "realm_test.h"
+
+using namespace realm::util;
+
+// clamp_to_bits must be total over int arguments: bits == 64 used to shift by
+// 63+1 positions (UB) and bits <= 0 produced negative shift counts.
+static_assert(clamp_to_bits(INT64_MAX, 64) == INT64_MAX);
+static_assert(clamp_to_bits(INT64_MIN, 64) == INT64_MIN);
+static_assert(clamp_to_bits(12345, 0) == 0);
+static_assert(clamp_to_bits(-12345, -7) == 0);
+static_assert(clamp_to_bits(200, 8) == 127);
+static_assert(clamp_to_bits(-200, 8) == -128);
+static_assert(clamp_to_bits(1, 1) == 0);   // 1-bit signed range is [-1, 0]
+static_assert(clamp_to_bits(-5, 1) == -1);
+
+static_assert(sat_add_u64(UINT64_MAX, 1) == UINT64_MAX);
+static_assert(sat_add_u64(40, 2) == 42);
+static_assert(sat_add_i64(INT64_MAX, 1) == INT64_MAX);
+static_assert(sat_add_i64(INT64_MIN, -1) == INT64_MIN);
+static_assert(sat_sub_i64(INT64_MIN, 1) == INT64_MIN);
+static_assert(sat_sub_i64(INT64_MAX, -1) == INT64_MAX);
+static_assert(sat_sub_i64(0, INT64_MIN) == INT64_MAX);
+static_assert(abs_u64(INT64_MIN) == 0x8000000000000000ULL);
+
+REALM_TEST(clamp_to_bits_edges) {
+  REALM_CHECK_EQ(clamp_to_bits(70000, 16), std::int64_t{32767});
+  REALM_CHECK_EQ(clamp_to_bits(-70000, 16), std::int64_t{-32768});
+  REALM_CHECK_EQ(clamp_to_bits(-42, 16), std::int64_t{-42});
+  REALM_CHECK_EQ(clamp_to_bits(INT64_MAX, 63), (std::int64_t{1} << 62) - 1);
+  REALM_CHECK_EQ(clamp_to_bits(0, 64), std::int64_t{0});
+}
+
+REALM_TEST(sat_add_saturates_not_wraps) {
+  REALM_CHECK_EQ(sat_add_i64(INT64_MAX - 5, 10), INT64_MAX);
+  REALM_CHECK_EQ(sat_add_i64(INT64_MIN + 5, -10), INT64_MIN);
+  REALM_CHECK_EQ(sat_add_i64(40, 2), std::int64_t{42});
+  REALM_CHECK_EQ(sat_sub_i64(40, -2), std::int64_t{42});
+}
+
+REALM_TEST(ilog2_values) {
+  REALM_CHECK_EQ(ilog2_u64(0), 0);
+  REALM_CHECK_EQ(ilog2_u64(1), 0);
+  REALM_CHECK_EQ(ilog2_u64(1ULL << 40), 40);
+  REALM_CHECK_EQ(ilog2_abs(-1024), 10);
+  REALM_CHECK_EQ(ilog2_abs(INT64_MIN), 63);
+}
+
+REALM_TEST_MAIN()

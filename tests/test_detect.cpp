@@ -1,0 +1,220 @@
+#include "detect/detect.h"
+
+#include <algorithm>
+#include <cstdint>
+#include <stdexcept>
+
+#include "realm_test.h"
+#include "tensor/gemm.h"
+#include "tensor/quant.h"
+#include "tensor/tensor.h"
+#include "util/rng.h"
+
+using namespace realm::detect;
+using namespace realm::tensor;
+using namespace realm::fault;
+using realm::util::Rng;
+
+namespace {
+
+MatF random_f32(std::size_t rows, std::size_t cols, Rng& rng) {
+  MatF m(rows, cols);
+  for (auto& x : m.flat()) x = static_cast<float>(rng.normal());
+  return m;
+}
+
+ProtectedGemm make_pg(std::size_t k, std::size_t n, Rng& rng, DetectionConfig cfg = {}) {
+  ProtectedGemm pg(cfg);
+  pg.set_weights(random_f32(k, n, rng));
+  return pg;
+}
+
+}  // namespace
+
+REALM_TEST(golden_runs_are_clean) {
+  // Checksums are exact integer identities: across many fault-free runs the
+  // detector must report zero deviation — zero false positives.
+  Rng rng(31);
+  ProtectedGemm pg = make_pg(48, 24, rng);
+  const NullInjector none;
+  for (int trial = 0; trial < 50; ++trial) {
+    const ProtectedGemmResult r = pg.run(random_f32(8, 48, rng), none, rng);
+    REALM_CHECK(r.report.verdict == Verdict::kClean);
+    REALM_CHECK_EQ(r.report.msd_abs, std::uint64_t{0});
+    REALM_CHECK(r.report.fault_cols.empty());
+    REALM_CHECK(r.report.fault_rows.empty());
+  }
+  REALM_CHECK_EQ(calibrate_msd_threshold(pg, 8, 20, rng), std::uint64_t{0});
+}
+
+REALM_TEST(magfreq_sweep_detects_everything) {
+  // The acceptance sweep: every (mag, freq) cell must be flagged with MSD
+  // above threshold, and the correction path must restore a clean tile.
+  Rng rng(32);
+  ProtectedGemm pg = make_pg(64, 32, rng);
+  const std::int64_t mags[] = {1, 16, 1 << 10, 1 << 20, -(1 << 15)};
+  const std::uint64_t freqs[] = {1, 3, 17};
+  int cells = 0;
+  for (const auto mag : mags) {
+    for (const auto freq : freqs) {
+      const MagFreqInjector inj(mag, freq);
+      const ProtectedGemmResult r = pg.run(random_f32(16, 64, rng), inj, rng);
+      // MagFreq errors all share one sign, so MSD == |freq * mag| exactly.
+      REALM_CHECK(r.report.msd_abs > pg.config().msd_threshold);
+      REALM_CHECK_EQ(r.report.msd_abs,
+                     freq * static_cast<std::uint64_t>(mag < 0 ? -mag : mag));
+      REALM_CHECK(r.report.verdict == Verdict::kCorrected);
+      ++cells;
+    }
+  }
+  REALM_CHECK_EQ(cells, 15);
+}
+
+REALM_TEST(localization_intersects_rows_and_columns) {
+  Rng rng(33);
+  DetectionConfig cfg;
+  cfg.recompute_on_detect = false;  // keep the corrupted accumulator visible
+  ProtectedGemm pg = make_pg(32, 16, rng, cfg);
+
+  // Inject a single known error by comparing against the fault-free run.
+  const MatF a = random_f32(8, 32, rng);
+  const QuantParams qa = calibrate(a.flat());
+  const MatI8 a8 = quantize(a, qa);
+  const MagFreqInjector inj(1 << 12, 1);
+  const ProtectedGemmResult faulty = pg.run_quantized(a8, qa, inj, rng);
+  const MatI32 clean = gemm_i8(a8, pg.weights());
+
+  REALM_CHECK(faulty.report.verdict == Verdict::kDetected);
+  REALM_CHECK_EQ(faulty.report.fault_cols.size(), std::size_t{1});
+  REALM_CHECK_EQ(faulty.report.fault_rows.size(), std::size_t{1});
+  const std::size_t row = faulty.report.fault_rows[0];
+  const std::size_t col = faulty.report.fault_cols[0];
+  // The row x column intersection pinpoints the corrupted element.
+  REALM_CHECK_EQ(faulty.acc(row, col) - clean(row, col), 1 << 12);
+  REALM_CHECK_EQ(faulty.report.max_dev_pow2, 12);
+}
+
+REALM_TEST(correction_recomputes_exact_output) {
+  Rng rng(34);
+  ProtectedGemm pg = make_pg(40, 20, rng);
+  const MatF a = random_f32(6, 40, rng);
+  const QuantParams qa = calibrate(a.flat());
+  const MatI8 a8 = quantize(a, qa);
+
+  const NullInjector none;
+  const ProtectedGemmResult golden = pg.run_quantized(a8, qa, none, rng);
+  const MagFreqInjector inj(12345, 5);
+  const ProtectedGemmResult corrected = pg.run_quantized(a8, qa, inj, rng);
+
+  REALM_CHECK(corrected.report.verdict == Verdict::kCorrected);
+  REALM_CHECK(corrected.acc == golden.acc);      // bit-exact replay
+  REALM_CHECK(corrected.output == golden.output);
+  REALM_CHECK_EQ(corrected.report.injection.corrupted_values, std::uint64_t{5});
+}
+
+REALM_TEST(msd_only_mode_and_thresholding) {
+  Rng rng(35);
+  DetectionConfig cfg;
+  cfg.mode = CheckMode::kMsdOnly;
+  cfg.msd_threshold = 1000;
+  cfg.recompute_on_detect = false;
+  ProtectedGemm pg = make_pg(32, 16, rng, cfg);
+  const MatF a = random_f32(4, 32, rng);
+  const QuantParams qa = calibrate(a.flat());
+  const MatI8 a8 = quantize(a, qa);
+
+  // Below threshold: slips past the one-sided MSD check.
+  const ProtectedGemmResult below =
+      pg.run_quantized(a8, qa, MagFreqInjector(500, 1), rng);
+  REALM_CHECK(below.report.verdict == Verdict::kClean);
+  REALM_CHECK_EQ(below.report.msd_abs, std::uint64_t{500});
+  REALM_CHECK(below.report.fault_cols.empty());  // no localization in MSD-only
+
+  // Above threshold: detected even without per-column checks.
+  const ProtectedGemmResult above =
+      pg.run_quantized(a8, qa, MagFreqInjector(2000, 1), rng);
+  REALM_CHECK(above.report.verdict == Verdict::kDetected);
+}
+
+REALM_TEST(narrow_msd_datapath_still_detects_sign) {
+  // A 16-bit MSD bus saturates on a huge deviation instead of wrapping to a
+  // small alias; detection survives the reduced-width hardware model.
+  Rng rng(36);
+  DetectionConfig cfg;
+  cfg.mode = CheckMode::kMsdOnly;
+  cfg.msd_datapath_bits = 16;
+  cfg.recompute_on_detect = false;
+  ProtectedGemm pg = make_pg(32, 16, rng, cfg);
+  const MatF a = random_f32(4, 32, rng);
+  const QuantParams qa = calibrate(a.flat());
+  const ProtectedGemmResult r =
+      pg.run_quantized(quantize(a, qa), qa, MagFreqInjector(1 << 24, 3), rng);
+  REALM_CHECK(r.report.verdict == Verdict::kDetected);
+  REALM_CHECK_EQ(r.report.msd_signed, std::int64_t{32767});  // saturated, not aliased
+}
+
+namespace {
+
+/// Opposite-sign errors in one column: zero per-column deviation, zero MSD —
+/// invisible to every column-side statistic, caught only by the row checks.
+class CancellingPairInjector final : public FaultInjector {
+ public:
+  explicit CancellingPairInjector(std::size_t stride) : stride_(stride) {}
+  InjectionReport inject(std::span<std::int32_t> data, realm::util::Rng&) const override {
+    data[0] += 1 << 20;        // element (0, 0)
+    data[stride_] -= 1 << 20;  // element (1, 0)
+    return {.flipped_bits = 2, .corrupted_values = 2};
+  }
+
+ private:
+  std::size_t stride_;
+};
+
+}  // namespace
+
+REALM_TEST(column_cancelling_fault_caught_by_rows) {
+  Rng rng(39);
+  ProtectedGemm pg = make_pg(32, 16, rng);
+  const MatF a = random_f32(4, 32, rng);
+  const QuantParams qa = calibrate(a.flat());
+  const CancellingPairInjector inj(pg.weights().cols());
+  const ProtectedGemmResult r = pg.run_quantized(quantize(a, qa), qa, inj, rng);
+  REALM_CHECK_EQ(r.report.msd_abs, std::uint64_t{0});  // column side is blind
+  REALM_CHECK(r.report.fault_cols.empty());
+  REALM_CHECK_EQ(r.report.fault_rows.size(), std::size_t{2});
+  REALM_CHECK(r.report.verdict == Verdict::kCorrected);  // rows flag + recompute
+}
+
+REALM_TEST(detect_roc_over_random_bitflips) {
+  // High-bit random flips (the paper's timing-error regime) must all be
+  // caught by the two-sided check; report-level sanity on the sweep.
+  Rng rng(37);
+  ProtectedGemm pg = make_pg(64, 32, rng);
+  const RandomBitFlipInjector inj(1e-4, 24, 31);
+  int injected_runs = 0, detected_runs = 0;
+  for (int trial = 0; trial < 40; ++trial) {
+    const ProtectedGemmResult r = pg.run(random_f32(16, 64, rng), inj, rng);
+    if (r.report.injection.flipped_bits == 0) {
+      REALM_CHECK(r.report.verdict == Verdict::kClean);
+      continue;
+    }
+    ++injected_runs;
+    if (r.report.faulty()) ++detected_runs;
+  }
+  REALM_CHECK(injected_runs > 0);
+  REALM_CHECK_EQ(detected_runs, injected_runs);  // 100% detection, column-exact
+}
+
+REALM_TEST(misuse_is_rejected) {
+  ProtectedGemm pg;
+  Rng rng(38);
+  const NullInjector none;
+  REALM_CHECK_THROWS(pg.run(MatF(2, 2, 1.0f), none, rng), std::logic_error);
+  pg.set_weights(MatF(4, 4, 1.0f));
+  REALM_CHECK_THROWS(pg.run(MatF(2, 5, 1.0f), none, rng), std::invalid_argument);
+  DetectionConfig bad;
+  bad.msd_datapath_bits = 0;
+  REALM_CHECK_THROWS(ProtectedGemm{bad}, std::invalid_argument);
+}
+
+REALM_TEST_MAIN()

@@ -1,0 +1,87 @@
+#include "fault/fault.h"
+
+#include <cstdint>
+#include <stdexcept>
+#include <vector>
+
+#include "realm_test.h"
+#include "util/rng.h"
+
+using namespace realm::fault;
+using realm::util::Rng;
+
+REALM_TEST(injectors_deterministic_under_fixed_seed) {
+  const RandomBitFlipInjector inj(1e-3, 16, 31);
+  std::vector<std::int32_t> a(4096, 0), b(4096, 0);
+  Rng r1(99), r2(99);
+  const InjectionReport ra = inj.inject(a, r1);
+  const InjectionReport rb = inj.inject(b, r2);
+  REALM_CHECK(a == b);
+  REALM_CHECK_EQ(ra.flipped_bits, rb.flipped_bits);
+  REALM_CHECK(ra.flipped_bits > 0);  // BER 1e-3 over 64k bits: ~65 expected
+  // A different seed produces a different pattern.
+  std::vector<std::int32_t> c(4096, 0);
+  Rng r3(100);
+  inj.inject(c, r3);
+  REALM_CHECK(!(a == c));
+}
+
+REALM_TEST(single_bit_flips_hit_distinct_elements) {
+  // Sampling without replacement: every reported flip corresponds to exactly
+  // one changed element (with replacement, pairs cancel and over-count).
+  const SingleBitFlipInjector inj(0.5, 30);
+  for (std::uint64_t seed = 0; seed < 20; ++seed) {
+    std::vector<std::int32_t> data(64, 0);
+    Rng rng(seed);
+    const InjectionReport rep = inj.inject(data, rng);
+    std::uint64_t changed = 0;
+    for (const auto v : data) {
+      if (v != 0) {
+        ++changed;
+        REALM_CHECK_EQ(static_cast<std::uint32_t>(v), 1u << 30);
+      }
+    }
+    REALM_CHECK_EQ(changed, rep.corrupted_values);
+    REALM_CHECK_EQ(rep.flipped_bits, rep.corrupted_values);
+  }
+}
+
+REALM_TEST(magfreq_exact_error_mass) {
+  const MagFreqInjector inj(1 << 20, 7);
+  std::vector<std::int32_t> data(256, 0);
+  Rng rng(5);
+  const InjectionReport rep = inj.inject(data, rng);
+  REALM_CHECK_EQ(rep.corrupted_values, std::uint64_t{7});
+  std::int64_t total = 0;
+  std::uint64_t touched = 0;
+  for (const auto v : data) {
+    total += v;
+    if (v != 0) ++touched;
+  }
+  REALM_CHECK_EQ(total, std::int64_t{7} * (1 << 20));  // MSD mass = freq * mag
+  REALM_CHECK_EQ(touched, std::uint64_t{7});           // distinct targets
+  // freq > size clamps rather than looping forever.
+  std::vector<std::int32_t> tiny(3, 0);
+  const InjectionReport rep2 = MagFreqInjector(1, 1000).inject(tiny, rng);
+  REALM_CHECK_EQ(rep2.corrupted_values, std::uint64_t{3});
+}
+
+REALM_TEST(random_bitflip_respects_bit_range) {
+  const RandomBitFlipInjector inj(0.05, 8, 15);
+  std::vector<std::int32_t> data(2048, 0);
+  Rng rng(7);
+  inj.inject(data, rng);
+  bool any = false;
+  for (const auto v : data) {
+    const auto w = static_cast<std::uint32_t>(v);
+    REALM_CHECK_EQ(w & ~0x0000ff00u, 0u);  // only bits [8,15] may be set
+    if (w != 0) any = true;
+  }
+  REALM_CHECK(any);
+  REALM_CHECK_THROWS(RandomBitFlipInjector(2.0), std::invalid_argument);
+  REALM_CHECK_THROWS(RandomBitFlipInjector(0.1, 5, 40), std::invalid_argument);
+  REALM_CHECK_THROWS(SingleBitFlipInjector(0.1, 32), std::invalid_argument);
+  REALM_CHECK_THROWS(MagFreqInjector(0, 3), std::invalid_argument);
+}
+
+REALM_TEST_MAIN()
