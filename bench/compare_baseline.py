@@ -1,0 +1,70 @@
+#!/usr/bin/env python3
+"""CI perf-regression gate for protected_gemm_bench --json output.
+
+Compares single-thread raw GEMM throughput per shape against the checked-in
+bench/baseline.json and fails (exit 1) when any shape regresses more than the
+tolerance. The baseline is a deliberately conservative floor (see README
+"Refreshing the baseline"): it must hold across GitHub runner generations, so
+the gate catches structural regressions (losing SIMD dispatch, packing, or
+blocking), not single-digit noise.
+
+usage: compare_baseline.py CURRENT.json BASELINE.json [--tolerance 0.20]
+"""
+
+import argparse
+import json
+import sys
+
+
+def load(path):
+    with open(path) as f:
+        return json.load(f)
+
+
+def main():
+    ap = argparse.ArgumentParser()
+    ap.add_argument("current")
+    ap.add_argument("baseline")
+    ap.add_argument(
+        "--tolerance",
+        type=float,
+        default=0.20,
+        help="allowed fractional regression vs baseline (default 0.20)",
+    )
+    args = ap.parse_args()
+
+    current = load(args.current)
+    baseline = load(args.baseline)
+
+    if current.get("threads") != 1:
+        sys.exit(f"gate requires a single-thread run, got threads={current.get('threads')}")
+
+    base_shapes = {(s["m"], s["k"], s["n"]): s for s in baseline["shapes"]}
+    failures = []
+    print(f"{'shape':>18} {'baseline':>10} {'current':>10} {'floor':>10}  status")
+    for cur in current["shapes"]:
+        key = (cur["m"], cur["k"], cur["n"])
+        base = base_shapes.get(key)
+        if base is None:
+            print(f"{str(key):>18} {'-':>10} {cur['raw_gops']:>10.1f} {'-':>10}  (no baseline)")
+            continue
+        floor = base["raw_gops"] * (1.0 - args.tolerance)
+        ok = cur["raw_gops"] >= floor
+        status = "ok" if ok else "REGRESSION"
+        print(
+            f"{str(key):>18} {base['raw_gops']:>10.1f} {cur['raw_gops']:>10.1f} "
+            f"{floor:>10.1f}  {status}"
+        )
+        if not ok:
+            failures.append(key)
+
+    missing = set(base_shapes) - {(s["m"], s["k"], s["n"]) for s in current["shapes"]}
+    if missing:
+        sys.exit(f"shapes present in baseline but missing from current run: {sorted(missing)}")
+    if failures:
+        sys.exit(f"single-thread GOPS regressed beyond tolerance on: {failures}")
+    print("perf gate passed")
+
+
+if __name__ == "__main__":
+    main()

@@ -77,6 +77,9 @@ void ProtectedGemm::set_weights_quantized(tensor::MatI8 w8, tensor::QuantParams 
   w8_ = std::move(w8);
   qw_ = qw;
   w_row_basis_ = tensor::row_sums(w8_);
+  // Weight-stationary model: pack the SIMD panels once, alongside W·e. Every
+  // protected GEMM (and its recompute replay) then skips the O(k·n) pack.
+  w_packed_ = tensor::kernels::pack_b(w8_.data(), w8_.rows(), w8_.cols());
 }
 
 ProtectedGemmResult ProtectedGemm::run(const tensor::MatF& a,
@@ -96,7 +99,7 @@ ProtectedGemmResult ProtectedGemm::run_quantized(const tensor::MatI8& a8,
   }
 
   ProtectedGemmResult result;
-  result.acc = tensor::gemm_i8(a8, w8_);
+  tensor::gemm_i8_prepacked(a8, w8_, w_packed_, result.acc);
   result.report.injection = injector.inject(result.acc.flat(), rng);
 
   // Column side: predicted (eᵀA)·W vs observed eᵀC, MSD thresholding.
@@ -133,7 +136,7 @@ ProtectedGemmResult ProtectedGemm::run_quantized(const tensor::MatI8& a8,
       // correction is only claimed when the recheck actually comes back clean
       // (a column-only recheck would certify row-detected fault classes it
       // never re-examined).
-      tensor::gemm_i8(a8, w8_, result.acc);
+      tensor::gemm_i8_prepacked(a8, w8_, w_packed_, result.acc);
       if (screen_clean(cfg_, a8, w_row_basis_, predicted_cols, result.acc)) {
         result.report.verdict = Verdict::kCorrected;
       }

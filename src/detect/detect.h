@@ -24,6 +24,7 @@
 
 #include "fault/fault.h"
 #include "tensor/checksum.h"
+#include "tensor/gemm_kernels.h"
 #include "tensor/quant.h"
 #include "tensor/tensor.h"
 #include "util/rng.h"
@@ -114,6 +115,7 @@ class ProtectedGemm {
   tensor::MatI8 w8_;
   tensor::QuantParams qw_;
   std::vector<std::int64_t> w_row_basis_;  ///< W·e, resident with the weights
+  tensor::kernels::PackedB w_packed_;      ///< SIMD panels, resident likewise
 };
 
 /// Run `golden_runs` fault-free GEMMs over random activations and return the

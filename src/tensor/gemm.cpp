@@ -2,6 +2,8 @@
 
 #include <stdexcept>
 
+#include "tensor/gemm_kernels.h"
+
 namespace realm::tensor {
 
 namespace {
@@ -27,29 +29,9 @@ void gemm_i8(const MatI8& a, const MatI8& b, MatI32& c) {
   check_gemm_dims(a.cols(), b.rows());
   check_i8_k_bound(a.cols());
   const std::size_t m = a.rows();
-  const std::size_t k = a.cols();
   const std::size_t n = b.cols();
   if (c.rows() != m || c.cols() != n) c = MatI32(m, n);
-  c.fill(0);
-
-  // i-k-j loop order streams B rows and keeps the C row hot; int16 promotion
-  // of the product is implicit (int8*int8 fits int16, summed in int32).
-  constexpr std::size_t kBlock = 64;
-  for (std::size_t k0 = 0; k0 < k; k0 += kBlock) {
-    const std::size_t k1 = std::min(k, k0 + kBlock);
-    for (std::size_t i = 0; i < m; ++i) {
-      const std::int8_t* arow = a.data() + i * k;
-      std::int32_t* crow = c.data() + i * n;
-      for (std::size_t kk = k0; kk < k1; ++kk) {
-        const std::int32_t av = arow[kk];
-        if (av == 0) continue;
-        const std::int8_t* brow = b.data() + kk * n;
-        for (std::size_t j = 0; j < n; ++j) {
-          crow[j] += av * static_cast<std::int32_t>(brow[j]);
-        }
-      }
-    }
-  }
+  kernels::gemm_i8(a.data(), b.data(), c.data(), m, a.cols(), n);
 }
 
 MatI32 gemm_i8(const MatI8& a, const MatI8& b) {
@@ -58,25 +40,22 @@ MatI32 gemm_i8(const MatI8& a, const MatI8& b) {
   return c;
 }
 
+void gemm_i8_prepacked(const MatI8& a, const MatI8& b, const kernels::PackedB& pb, MatI32& c) {
+  check_gemm_dims(a.cols(), b.rows());
+  check_i8_k_bound(a.cols());
+  const std::size_t m = a.rows();
+  const std::size_t n = b.cols();
+  if (c.rows() != m || c.cols() != n) c = MatI32(m, n);
+  kernels::gemm_i8_prepacked(a.data(), b.data(), pb, c.data(), m, a.cols(), n);
+}
+
 void gemm_i8_bt(const MatI8& a, const MatI8& bt, MatI32& c) {
   check_gemm_dims(a.cols(), bt.cols());
   check_i8_k_bound(a.cols());
   const std::size_t m = a.rows();
-  const std::size_t k = a.cols();
   const std::size_t n = bt.rows();
   if (c.rows() != m || c.cols() != n) c = MatI32(m, n);
-  for (std::size_t i = 0; i < m; ++i) {
-    const std::int8_t* arow = a.data() + i * k;
-    std::int32_t* crow = c.data() + i * n;
-    for (std::size_t j = 0; j < n; ++j) {
-      const std::int8_t* brow = bt.data() + j * k;
-      std::int32_t acc = 0;
-      for (std::size_t kk = 0; kk < k; ++kk) {
-        acc += static_cast<std::int32_t>(arow[kk]) * static_cast<std::int32_t>(brow[kk]);
-      }
-      crow[j] = acc;
-    }
-  }
+  kernels::gemm_i8_bt(a.data(), bt.data(), c.data(), m, a.cols(), n);
 }
 
 MatI32 gemm_i8_bt(const MatI8& a, const MatI8& bt) {

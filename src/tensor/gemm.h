@@ -1,12 +1,21 @@
-// GEMM kernels: INT8 x INT8 -> INT32 (the accelerator datapath under test)
-// plus an FP32 reference. The integer kernel is the single hot loop of the
-// repository; it is blocked for L1 reuse but deliberately scalar — results
-// must be bit-exact and deterministic across machines because fault-injection
-// compares accumulators bit by bit.
+// GEMM entry points: INT8 x INT8 -> INT32 (the accelerator datapath under
+// test) plus an FP32 reference. The integer variants validate shapes and the
+// overflow bound here, then route through tensor::kernels — the tiered
+// SIMD/portable implementations with runtime CPU dispatch and row-sharded
+// threading (see gemm_kernels.h). Every tier and every thread count produces
+// bit-identical results, because fault injection compares accumulators bit by
+// bit: a scheduling- or ISA-dependent output would be indistinguishable from
+// the faults this repository exists to detect.
+//
+// Output contract (identical for gemm_i8 and gemm_i8_bt): `c` is resized if
+// mis-shaped, then FULLY OVERWRITTEN without ever being read — callers never
+// need to zero it. (Before the kernel layer, gemm_i8 zero-filled `c` and
+// accumulated while gemm_i8_bt overwrote; the asymmetry is gone.)
 #pragma once
 
 #include <cstdint>
 
+#include "tensor/gemm_kernels.h"
 #include "tensor/tensor.h"
 
 namespace realm::tensor {
@@ -25,6 +34,12 @@ void gemm_i8(const MatI8& a, const MatI8& b, MatI32& c);
 
 /// Convenience allocating overload.
 [[nodiscard]] MatI32 gemm_i8(const MatI8& a, const MatI8& b);
+
+/// Stationary-B variant: reuses panels packed once via kernels::pack_b
+/// (ProtectedGemm keeps them resident with the weights). Bit-exact with
+/// gemm_i8(a, b, c); `pb` that mismatches the active tier or B's shape is
+/// ignored and the call packs fresh.
+void gemm_i8_prepacked(const MatI8& a, const MatI8& b, const kernels::PackedB& pb, MatI32& c);
 
 /// C[m x n] = A[m x k] * B^T where bt is stored [n x k] (row-major). Used for
 /// attention scores Q*K^T where K rows are cache entries.

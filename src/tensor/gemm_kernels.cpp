@@ -1,0 +1,509 @@
+#include "tensor/gemm_kernels.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "util/threadpool.h"
+
+#if defined(__x86_64__) || defined(__i386__)
+#include <immintrin.h>
+#define REALM_X86 1
+#else
+#define REALM_X86 0
+#endif
+
+namespace realm::tensor::kernels {
+
+namespace {
+
+// Microkernel footprints. The register budget drives the shapes: AVX-512 has
+// 32 zmm registers, so an 8x32 tile holds 16 accumulators plus temporaries;
+// AVX2's 16 ymm registers fit a 4x16 tile (8 accumulators).
+constexpr std::size_t kMr512 = 8, kNr512 = 32;
+constexpr std::size_t kMr256 = 4, kNr256 = 16;
+/// Rows of A converted to int16 at a time; keeps the packed block L2-resident
+/// even at the kMaxK inner dimension (64 rows x 2^16 x 2B = 8 MiB worst case,
+/// 64 KiB for typical k).
+constexpr std::size_t kRowBlock = 64;
+/// parallel_for grain: at least one full microkernel tile of rows per chunk.
+constexpr std::size_t kRowGrain = 8;
+
+#if REALM_X86
+
+std::size_t nr_for(Tier t) noexcept { return t == Tier::kAvx512 ? kNr512 : kNr256; }
+
+// ---------------------------------------------------------------------------
+// Packing. Both SIMD tiers consume the same layout: B split into column
+// panels of width nr; within a panel, k-step pairs are interleaved and
+// sign-extended to int16 so one vpmaddwd consumes two k-steps:
+//   panel[kp][2*j]   = b(2kp,   j0+j)
+//   panel[kp][2*j+1] = b(2kp+1, j0+j)   (0 past the k or n edge)
+// ---------------------------------------------------------------------------
+
+void pack_b_panels(const std::int8_t* b, std::size_t k, std::size_t n, std::size_t nr,
+                   std::int16_t* out) {
+  const std::size_t kpairs = (k + 1) / 2;
+  const std::size_t panels = (n + nr - 1) / nr;
+  for (std::size_t p = 0; p < panels; ++p) {
+    const std::size_t j0 = p * nr;
+    const std::size_t jw = std::min(nr, n - j0);
+    std::int16_t* po = out + p * kpairs * 2 * nr;
+    for (std::size_t kp = 0; kp < kpairs; ++kp) {
+      const std::size_t k0 = 2 * kp;
+      const std::int8_t* r0 = b + k0 * n;
+      const std::int8_t* r1 = (k0 + 1 < k) ? r0 + n : nullptr;
+      std::int16_t* dst = po + kp * 2 * nr;
+      for (std::size_t j = 0; j < jw; ++j) {
+        dst[2 * j] = r0[j0 + j];
+        dst[2 * j + 1] = r1 ? r1[j0 + j] : std::int16_t{0};
+      }
+      for (std::size_t j = jw; j < nr; ++j) {
+        dst[2 * j] = 0;
+        dst[2 * j + 1] = 0;
+      }
+    }
+  }
+}
+
+/// Same layout from B^T stored [n x k] row-major (gemm_i8_bt). Reads stream
+/// along bt rows, writes stride through the panel.
+void pack_bt_panels(const std::int8_t* bt, std::size_t k, std::size_t n, std::size_t nr,
+                    std::int16_t* out) {
+  const std::size_t kpairs = (k + 1) / 2;
+  const std::size_t panels = (n + nr - 1) / nr;
+  for (std::size_t p = 0; p < panels; ++p) {
+    const std::size_t j0 = p * nr;
+    const std::size_t jw = std::min(nr, n - j0);
+    std::int16_t* po = out + p * kpairs * 2 * nr;
+    for (std::size_t j = 0; j < jw; ++j) {
+      const std::int8_t* row = bt + (j0 + j) * k;
+      for (std::size_t kp = 0; kp < kpairs; ++kp) {
+        std::int16_t* dst = po + kp * 2 * nr + 2 * j;
+        dst[0] = row[2 * kp];
+        dst[1] = (2 * kp + 1 < k) ? row[2 * kp + 1] : std::int16_t{0};
+      }
+    }
+    for (std::size_t j = jw; j < nr; ++j) {
+      for (std::size_t kp = 0; kp < kpairs; ++kp) {
+        std::int16_t* dst = po + kp * 2 * nr + 2 * j;
+        dst[0] = 0;
+        dst[1] = 0;
+      }
+    }
+  }
+}
+
+/// Sign-extend rows [i0, i1) of A to int16, zero-padding odd k to kpad.
+void pack_a_i16(const std::int8_t* a, std::size_t k, std::size_t kpad, std::size_t i0,
+                std::size_t i1, std::int16_t* out) {
+  for (std::size_t i = i0; i < i1; ++i) {
+    std::int16_t* dst = out + (i - i0) * kpad;
+    const std::int8_t* src = a + i * k;
+    for (std::size_t kk = 0; kk < k; ++kk) dst[kk] = src[kk];
+    for (std::size_t kk = k; kk < kpad; ++kk) dst[kk] = 0;
+  }
+}
+
+/// Broadcastable A pair (two adjacent int16 values) read without alignment or
+/// aliasing UB; compiles to a single 32-bit load.
+inline std::int32_t a_pair(const std::int16_t* p) noexcept {
+  std::int32_t v;
+  std::memcpy(&v, p, sizeof(v));
+  return v;
+}
+
+#endif  // REALM_X86
+
+// ---------------------------------------------------------------------------
+// Portable tier: the blocked scalar i-k-j loop (gcc/clang autovectorize the
+// inner j loop). Also the reference the SIMD tiers are cross-checked against.
+// ---------------------------------------------------------------------------
+
+void portable_rows(const std::int8_t* a, const std::int8_t* b, std::int32_t* c, std::size_t k,
+                   std::size_t n, std::size_t i0, std::size_t i1) {
+  constexpr std::size_t kBlock = 64;
+  std::memset(c + i0 * n, 0, (i1 - i0) * n * sizeof(std::int32_t));
+  for (std::size_t kb = 0; kb < k; kb += kBlock) {
+    const std::size_t ke = std::min(k, kb + kBlock);
+    for (std::size_t i = i0; i < i1; ++i) {
+      const std::int8_t* arow = a + i * k;
+      std::int32_t* crow = c + i * n;
+      for (std::size_t kk = kb; kk < ke; ++kk) {
+        const std::int32_t av = arow[kk];
+        if (av == 0) continue;
+        const std::int8_t* brow = b + kk * n;
+        for (std::size_t j = 0; j < n; ++j) crow[j] += av * static_cast<std::int32_t>(brow[j]);
+      }
+    }
+  }
+}
+
+void portable_bt_rows(const std::int8_t* a, const std::int8_t* bt, std::int32_t* c,
+                      std::size_t k, std::size_t n, std::size_t i0, std::size_t i1) {
+  // Dot-product form: both operands stream contiguously along k.
+  for (std::size_t i = i0; i < i1; ++i) {
+    const std::int8_t* arow = a + i * k;
+    std::int32_t* crow = c + i * n;
+    for (std::size_t j = 0; j < n; ++j) {
+      const std::int8_t* brow = bt + j * k;
+      std::int32_t acc = 0;
+      for (std::size_t kk = 0; kk < k; ++kk) {
+        acc += static_cast<std::int32_t>(arow[kk]) * static_cast<std::int32_t>(brow[kk]);
+      }
+      crow[j] = acc;
+    }
+  }
+}
+
+#if REALM_X86
+
+// ---------------------------------------------------------------------------
+// AVX2 tier: 4x16 int32 accumulator tile, two vpmaddwd per A pair.
+// ---------------------------------------------------------------------------
+
+__attribute__((target("avx2"))) void kern_avx2_full(const std::int16_t* a16, std::size_t lda,
+                                                    const std::int16_t* pb, std::size_t kpairs,
+                                                    std::int32_t* c, std::size_t ldc) {
+  __m256i acc[kMr256][2];
+  for (std::size_t r = 0; r < kMr256; ++r) {
+    acc[r][0] = _mm256_setzero_si256();
+    acc[r][1] = _mm256_setzero_si256();
+  }
+  for (std::size_t kp = 0; kp < kpairs; ++kp) {
+    const __m256i b0 =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(pb + kp * 2 * kNr256));
+    const __m256i b1 =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(pb + kp * 2 * kNr256 + 16));
+    for (std::size_t r = 0; r < kMr256; ++r) {
+      const __m256i av = _mm256_set1_epi32(a_pair(a16 + r * lda + 2 * kp));
+      acc[r][0] = _mm256_add_epi32(acc[r][0], _mm256_madd_epi16(av, b0));
+      acc[r][1] = _mm256_add_epi32(acc[r][1], _mm256_madd_epi16(av, b1));
+    }
+  }
+  for (std::size_t r = 0; r < kMr256; ++r) {
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(c + r * ldc), acc[r][0]);
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(c + r * ldc + 8), acc[r][1]);
+  }
+}
+
+__attribute__((target("avx2"))) void kern_avx2_edge(const std::int16_t* a16, std::size_t lda,
+                                                    const std::int16_t* pb, std::size_t kpairs,
+                                                    std::int32_t* c, std::size_t ldc,
+                                                    std::size_t mr, std::size_t jw) {
+  __m256i acc[kMr256][2];
+  for (std::size_t r = 0; r < mr; ++r) {
+    acc[r][0] = _mm256_setzero_si256();
+    acc[r][1] = _mm256_setzero_si256();
+  }
+  for (std::size_t kp = 0; kp < kpairs; ++kp) {
+    const __m256i b0 =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(pb + kp * 2 * kNr256));
+    const __m256i b1 =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(pb + kp * 2 * kNr256 + 16));
+    for (std::size_t r = 0; r < mr; ++r) {
+      const __m256i av = _mm256_set1_epi32(a_pair(a16 + r * lda + 2 * kp));
+      acc[r][0] = _mm256_add_epi32(acc[r][0], _mm256_madd_epi16(av, b0));
+      acc[r][1] = _mm256_add_epi32(acc[r][1], _mm256_madd_epi16(av, b1));
+    }
+  }
+  alignas(32) std::int32_t tmp[kNr256];
+  for (std::size_t r = 0; r < mr; ++r) {
+    _mm256_store_si256(reinterpret_cast<__m256i*>(tmp), acc[r][0]);
+    _mm256_store_si256(reinterpret_cast<__m256i*>(tmp + 8), acc[r][1]);
+    std::memcpy(c + r * ldc, tmp, jw * sizeof(std::int32_t));
+  }
+}
+
+__attribute__((target("avx2"))) void avx2_rows(const std::int8_t* a, const std::int16_t* pb,
+                                               std::int32_t* c, std::size_t k, std::size_t n,
+                                               std::size_t i0, std::size_t i1) {
+  const std::size_t kpairs = (k + 1) / 2;
+  const std::size_t kpad = 2 * kpairs;
+  const std::size_t panels = (n + kNr256 - 1) / kNr256;
+  std::vector<std::int16_t> a16(std::min(kRowBlock, i1 - i0) * kpad);
+  for (std::size_t ib = i0; ib < i1; ib += kRowBlock) {
+    const std::size_t ie = std::min(i1, ib + kRowBlock);
+    pack_a_i16(a, k, kpad, ib, ie, a16.data());
+    for (std::size_t p = 0; p < panels; ++p) {
+      const std::size_t j0 = p * kNr256;
+      const std::size_t jw = std::min(kNr256, n - j0);
+      const std::int16_t* pbp = pb + p * kpairs * 2 * kNr256;
+      for (std::size_t i = ib; i < ie; i += kMr256) {
+        const std::size_t mr = std::min(kMr256, ie - i);
+        const std::int16_t* arows = a16.data() + (i - ib) * kpad;
+        std::int32_t* crows = c + i * n + j0;
+        if (mr == kMr256 && jw == kNr256) {
+          kern_avx2_full(arows, kpad, pbp, kpairs, crows, n);
+        } else {
+          kern_avx2_edge(arows, kpad, pbp, kpairs, crows, n, mr, jw);
+        }
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// AVX-512 tier: 8x32 tile, same scheme at double width.
+// ---------------------------------------------------------------------------
+
+__attribute__((target("avx512f,avx512bw"))) void kern_avx512_full(
+    const std::int16_t* a16, std::size_t lda, const std::int16_t* pb, std::size_t kpairs,
+    std::int32_t* c, std::size_t ldc) {
+  __m512i acc[kMr512][2];
+  for (std::size_t r = 0; r < kMr512; ++r) {
+    acc[r][0] = _mm512_setzero_si512();
+    acc[r][1] = _mm512_setzero_si512();
+  }
+  for (std::size_t kp = 0; kp < kpairs; ++kp) {
+    const __m512i b0 = _mm512_loadu_si512(pb + kp * 2 * kNr512);
+    const __m512i b1 = _mm512_loadu_si512(pb + kp * 2 * kNr512 + 32);
+#pragma GCC unroll 8
+    for (std::size_t r = 0; r < kMr512; ++r) {
+      const __m512i av = _mm512_set1_epi32(a_pair(a16 + r * lda + 2 * kp));
+      acc[r][0] = _mm512_add_epi32(acc[r][0], _mm512_madd_epi16(av, b0));
+      acc[r][1] = _mm512_add_epi32(acc[r][1], _mm512_madd_epi16(av, b1));
+    }
+  }
+  for (std::size_t r = 0; r < kMr512; ++r) {
+    _mm512_storeu_si512(c + r * ldc, acc[r][0]);
+    _mm512_storeu_si512(c + r * ldc + 16, acc[r][1]);
+  }
+}
+
+__attribute__((target("avx512f,avx512bw"))) void kern_avx512_edge(
+    const std::int16_t* a16, std::size_t lda, const std::int16_t* pb, std::size_t kpairs,
+    std::int32_t* c, std::size_t ldc, std::size_t mr, std::size_t jw) {
+  __m512i acc[kMr512][2];
+  for (std::size_t r = 0; r < mr; ++r) {
+    acc[r][0] = _mm512_setzero_si512();
+    acc[r][1] = _mm512_setzero_si512();
+  }
+  for (std::size_t kp = 0; kp < kpairs; ++kp) {
+    const __m512i b0 = _mm512_loadu_si512(pb + kp * 2 * kNr512);
+    const __m512i b1 = _mm512_loadu_si512(pb + kp * 2 * kNr512 + 32);
+    for (std::size_t r = 0; r < mr; ++r) {
+      const __m512i av = _mm512_set1_epi32(a_pair(a16 + r * lda + 2 * kp));
+      acc[r][0] = _mm512_add_epi32(acc[r][0], _mm512_madd_epi16(av, b0));
+      acc[r][1] = _mm512_add_epi32(acc[r][1], _mm512_madd_epi16(av, b1));
+    }
+  }
+  alignas(64) std::int32_t tmp[kNr512];
+  for (std::size_t r = 0; r < mr; ++r) {
+    _mm512_store_si512(tmp, acc[r][0]);
+    _mm512_store_si512(tmp + 16, acc[r][1]);
+    std::memcpy(c + r * ldc, tmp, jw * sizeof(std::int32_t));
+  }
+}
+
+__attribute__((target("avx512f,avx512bw"))) void avx512_rows(const std::int8_t* a,
+                                                             const std::int16_t* pb,
+                                                             std::int32_t* c, std::size_t k,
+                                                             std::size_t n, std::size_t i0,
+                                                             std::size_t i1) {
+  const std::size_t kpairs = (k + 1) / 2;
+  const std::size_t kpad = 2 * kpairs;
+  const std::size_t panels = (n + kNr512 - 1) / kNr512;
+  std::vector<std::int16_t> a16(std::min(kRowBlock, i1 - i0) * kpad);
+  for (std::size_t ib = i0; ib < i1; ib += kRowBlock) {
+    const std::size_t ie = std::min(i1, ib + kRowBlock);
+    pack_a_i16(a, k, kpad, ib, ie, a16.data());
+    for (std::size_t p = 0; p < panels; ++p) {
+      const std::size_t j0 = p * kNr512;
+      const std::size_t jw = std::min(kNr512, n - j0);
+      const std::int16_t* pbp = pb + p * kpairs * 2 * kNr512;
+      for (std::size_t i = ib; i < ie; i += kMr512) {
+        const std::size_t mr = std::min(kMr512, ie - i);
+        const std::int16_t* arows = a16.data() + (i - ib) * kpad;
+        std::int32_t* crows = c + i * n + j0;
+        if (mr == kMr512 && jw == kNr512) {
+          kern_avx512_full(arows, kpad, pbp, kpairs, crows, n);
+        } else {
+          kern_avx512_edge(arows, kpad, pbp, kpairs, crows, n, mr, jw);
+        }
+      }
+    }
+  }
+}
+
+#endif  // REALM_X86
+
+// ---------------------------------------------------------------------------
+// Dispatch state.
+// ---------------------------------------------------------------------------
+
+Tier detect_best() noexcept {
+#if REALM_X86
+  // __builtin_cpu_supports consults libgcc's CPUID+XGETBV probe, so OS
+  // state-save support for ymm/zmm is already folded in.
+  if (__builtin_cpu_supports("avx512f") && __builtin_cpu_supports("avx512bw")) {
+    return Tier::kAvx512;
+  }
+  if (__builtin_cpu_supports("avx2")) return Tier::kAvx2;
+#endif
+  return Tier::kPortable;
+}
+
+Tier initial_tier() noexcept {
+  const Tier best = best_supported_tier();
+  if (const char* env = std::getenv("REALM_KERNEL")) {
+    const std::string v(env);
+    if (v == "portable") return Tier::kPortable;
+    if (v == "avx2" && best >= Tier::kAvx2) return Tier::kAvx2;
+    if (v == "avx512" && best >= Tier::kAvx512) return Tier::kAvx512;
+    // An override that silently fell back would let a user attribute fast-path
+    // numbers to the tier they typed; say what actually happens.
+    std::fprintf(stderr,
+                 "realm: REALM_KERNEL=%s %s; using \"%s\"\n", env,
+                 (v == "portable" || v == "avx2" || v == "avx512")
+                     ? "is not supported by this CPU"
+                     : "is not a known tier (portable|avx2|avx512)",
+                 to_string(best));
+  }
+  return best;
+}
+
+std::atomic<Tier>& tier_slot() {
+  static std::atomic<Tier> slot{initial_tier()};
+  return slot;
+}
+
+#if REALM_X86
+/// Row-shard the macro-loop over already-packed panels.
+void run_simd_rows(Tier t, const std::int8_t* a, const std::int16_t* pb, std::int32_t* c,
+                   std::size_t m, std::size_t k, std::size_t n) {
+  util::global_pool().parallel_for(m, kRowGrain, [&](std::size_t i0, std::size_t i1) {
+    if (t == Tier::kAvx512) {
+      avx512_rows(a, pb, c, k, n, i0, i1);
+    } else {
+      avx2_rows(a, pb, c, k, n, i0, i1);
+    }
+  });
+}
+#endif
+
+/// Shared SIMD driver for both storage orders of B: pack B once (serial,
+/// O(k*n)), then row-shard the macro-loop across the global pool.
+void gemm_simd(Tier t, const std::int8_t* a, const std::int8_t* b, std::int32_t* c,
+               std::size_t m, std::size_t k, std::size_t n, bool b_transposed) {
+#if REALM_X86
+  const std::size_t nr = nr_for(t);
+  const std::size_t kpairs = (k + 1) / 2;
+  const std::size_t panels = (n + nr - 1) / nr;
+  std::vector<std::int16_t> pb(panels * kpairs * 2 * nr);
+  if (b_transposed) {
+    pack_bt_panels(b, k, n, nr, pb.data());
+  } else {
+    pack_b_panels(b, k, n, nr, pb.data());
+  }
+  run_simd_rows(t, a, pb.data(), c, m, k, n);
+#else
+  (void)t;
+  if (b_transposed) {
+    portable_bt_rows(a, b, c, k, n, 0, m);
+  } else {
+    portable_rows(a, b, c, k, n, 0, m);
+  }
+#endif
+}
+
+}  // namespace
+
+const char* to_string(Tier t) noexcept {
+  switch (t) {
+    case Tier::kPortable: return "portable";
+    case Tier::kAvx2: return "avx2";
+    case Tier::kAvx512: return "avx512";
+  }
+  return "?";
+}
+
+Tier best_supported_tier() noexcept {
+  static const Tier best = detect_best();
+  return best;
+}
+
+Tier active_tier() noexcept { return tier_slot().load(std::memory_order_relaxed); }
+
+void set_active_tier(Tier t) {
+  if (t > best_supported_tier()) {
+    throw std::invalid_argument(std::string("kernels: tier ") + to_string(t) +
+                                " not supported by this CPU");
+  }
+  tier_slot().store(t, std::memory_order_relaxed);
+}
+
+void gemm_i8(const std::int8_t* a, const std::int8_t* b, std::int32_t* c, std::size_t m,
+             std::size_t k, std::size_t n) {
+  if (m == 0 || n == 0) return;
+  if (k == 0) {
+    std::memset(c, 0, m * n * sizeof(std::int32_t));
+    return;
+  }
+  const Tier t = active_tier();
+  if (t == Tier::kPortable) {
+    util::global_pool().parallel_for(m, kRowGrain, [&](std::size_t i0, std::size_t i1) {
+      portable_rows(a, b, c, k, n, i0, i1);
+    });
+    return;
+  }
+  gemm_simd(t, a, b, c, m, k, n, /*b_transposed=*/false);
+}
+
+PackedB pack_b(const std::int8_t* b, std::size_t k, std::size_t n) {
+  PackedB p;
+  p.tier_ = active_tier();
+  p.k_ = k;
+  p.n_ = n;
+#if REALM_X86
+  if (p.tier_ != Tier::kPortable && k > 0 && n > 0) {
+    const std::size_t nr = nr_for(p.tier_);
+    const std::size_t kpairs = (k + 1) / 2;
+    const std::size_t panels = (n + nr - 1) / nr;
+    p.panels_.resize(panels * kpairs * 2 * nr);
+    pack_b_panels(b, k, n, nr, p.panels_.data());
+  }
+#else
+  (void)b;
+#endif
+  return p;
+}
+
+void gemm_i8_prepacked(const std::int8_t* a, const std::int8_t* b, const PackedB& pb,
+                       std::int32_t* c, std::size_t m, std::size_t k, std::size_t n) {
+  if (m == 0 || n == 0) return;
+#if REALM_X86
+  const Tier t = active_tier();
+  if (k > 0 && t != Tier::kPortable && pb.valid_for(t, k, n)) {
+    run_simd_rows(t, a, pb.panels_.data(), c, m, k, n);
+    return;
+  }
+#else
+  (void)pb;
+#endif
+  gemm_i8(a, b, c, m, k, n);
+}
+
+void gemm_i8_bt(const std::int8_t* a, const std::int8_t* bt, std::int32_t* c, std::size_t m,
+                std::size_t k, std::size_t n) {
+  if (m == 0 || n == 0) return;
+  if (k == 0) {
+    std::memset(c, 0, m * n * sizeof(std::int32_t));
+    return;
+  }
+  const Tier t = active_tier();
+  if (t == Tier::kPortable) {
+    util::global_pool().parallel_for(m, kRowGrain, [&](std::size_t i0, std::size_t i1) {
+      portable_bt_rows(a, bt, c, k, n, i0, i1);
+    });
+    return;
+  }
+  gemm_simd(t, a, bt, c, m, k, n, /*b_transposed=*/true);
+}
+
+}  // namespace realm::tensor::kernels

@@ -1,0 +1,99 @@
+// Tiered INT8 GEMM kernels with runtime CPU dispatch.
+//
+// Three implementations of the same bit-exact contract, best one picked per
+// process by probing CPUID at first use (overridable for tests and A/B runs):
+//
+//  * kAvx512 — 512-bit madd_epi16 microkernel (8 rows x 32 cols of int32
+//    accumulators), for CPUs with AVX-512F + AVX-512BW.
+//  * kAvx2   — 256-bit madd_epi16 microkernel (4 rows x 16 cols).
+//  * kPortable — the blocked scalar i-k-j loop (autovectorizable), always
+//    available; the reference the SIMD tiers are cross-checked against.
+//
+// The SIMD tiers share one data layout: B is packed once per call into
+// column panels of kNr int16 pairs — pair (b[2kp][j], b[2kp+1][j]) sits
+// contiguously so a vpmaddwd against a broadcast A pair (a[i][2kp], a[i][2kp+1])
+// accumulates two k-steps per instruction, int8 -> int16 -> int32 with no
+// saturation anywhere: |a*b| <= 2^14, a pair sums to <= 2^15, and k <= 2^16
+// keeps the int32 accumulator within 2^30 (see tensor::kMaxK).
+//
+// Every tier produces bit-identical results to every other tier and at every
+// thread count: integer addition is associative, each output element's
+// k-reduction is computed in full by exactly one thread, and row shards are
+// disjoint. The macro-loop is row-sharded across util::global_pool().
+//
+// C is FULLY OVERWRITTEN and never read — callers need not (and should not)
+// zero it first. This is the contract both tensor::gemm_i8 and
+// tensor::gemm_i8_bt expose.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace realm::tensor::kernels {
+
+enum class Tier : std::uint8_t {
+  kPortable = 0,
+  kAvx2 = 1,
+  kAvx512 = 2,
+};
+
+[[nodiscard]] const char* to_string(Tier t) noexcept;
+
+/// Best tier the running CPU (and OS state-save support) can execute,
+/// probed once via CPUID/XGETBV. Always at least kPortable.
+[[nodiscard]] Tier best_supported_tier() noexcept;
+
+/// Tier used by gemm_i8/gemm_i8_bt. Defaults to best_supported_tier(); the
+/// REALM_KERNEL environment variable (portable|avx2|avx512) overrides the
+/// default at first use.
+[[nodiscard]] Tier active_tier() noexcept;
+
+/// Force a tier (tests cross-checking SIMD vs scalar drive this). Throws
+/// std::invalid_argument if the CPU cannot execute it.
+void set_active_tier(Tier t);
+
+/// c[m x n] = a[m x k] * b[k x n], all row-major, int8 inputs, int32
+/// accumulation. c is fully overwritten. Dimension/overflow validation is the
+/// caller's job (tensor::gemm_i8 enforces kMaxK).
+void gemm_i8(const std::int8_t* a, const std::int8_t* b, std::int32_t* c, std::size_t m,
+             std::size_t k, std::size_t n);
+
+/// Pre-packed SIMD panels of a stationary B operand (the accelerator's
+/// weight-resident model: pay the O(k*n) pack once per weight tile, not once
+/// per GEMM). Opaque; tied to the tier it was packed for — a tier or shape
+/// mismatch at use time simply falls back to packing fresh. Cheap to move,
+/// empty (and always a fallback) on the portable tier.
+class PackedB {
+ public:
+  PackedB() = default;
+
+  [[nodiscard]] bool valid_for(Tier t, std::size_t k, std::size_t n) const noexcept {
+    return !panels_.empty() && tier_ == t && k_ == k && n_ == n;
+  }
+
+ private:
+  friend PackedB pack_b(const std::int8_t* b, std::size_t k, std::size_t n);
+  friend void gemm_i8_prepacked(const std::int8_t* a, const std::int8_t* b, const PackedB& pb,
+                                std::int32_t* c, std::size_t m, std::size_t k, std::size_t n);
+
+  Tier tier_ = Tier::kPortable;
+  std::size_t k_ = 0;
+  std::size_t n_ = 0;
+  std::vector<std::int16_t> panels_;
+};
+
+/// Pack b[k x n] (row-major) for the active tier.
+[[nodiscard]] PackedB pack_b(const std::int8_t* b, std::size_t k, std::size_t n);
+
+/// gemm_i8 that reuses pre-packed panels when `pb` matches the active tier
+/// and shape; otherwise identical to gemm_i8(a, b, c, ...). Bit-exact with
+/// the non-prepacked path in every case.
+void gemm_i8_prepacked(const std::int8_t* a, const std::int8_t* b, const PackedB& pb,
+                       std::int32_t* c, std::size_t m, std::size_t k, std::size_t n);
+
+/// c[m x n] = a[m x k] * bt^T where bt is stored [n x k] row-major.
+void gemm_i8_bt(const std::int8_t* a, const std::int8_t* bt, std::int32_t* c, std::size_t m,
+                std::size_t k, std::size_t n);
+
+}  // namespace realm::tensor::kernels

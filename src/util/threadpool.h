@@ -1,0 +1,56 @@
+// Persistent worker pool for row-sharding the GEMM macro-loop.
+//
+// Determinism contract: parallel_for splits [0, total) into contiguous
+// half-open chunks and every index is visited exactly once, so any body that
+// writes disjoint state per index produces bit-identical results at every
+// thread count — the property the fault-detection tests rely on (a checksum
+// mismatch must mean a fault, never a scheduling artifact).
+//
+// The calling thread participates as a worker, so a pool of size 1 runs the
+// body inline with no synchronization. Nested parallel_for calls from inside
+// a worker also run inline rather than deadlocking on the single job slot.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+
+namespace realm::util {
+
+class ThreadPool {
+ public:
+  /// @param threads total concurrency including the calling thread; clamped
+  ///                to >= 1. A pool of size N spawns N-1 workers.
+  explicit ThreadPool(std::size_t threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  [[nodiscard]] std::size_t size() const noexcept;
+
+  /// Run body(begin, end) over contiguous chunks covering [0, total); blocks
+  /// until every chunk completes. Chunks are at least `grain` indices (except
+  /// possibly the last). The first exception thrown by any chunk is rethrown
+  /// on the calling thread after all workers quiesce; remaining chunks are
+  /// abandoned. One job runs at a time; concurrent callers serialize.
+  void parallel_for(std::size_t total, std::size_t grain,
+                    const std::function<void(std::size_t, std::size_t)>& body);
+
+ private:
+  struct Impl;
+  Impl* impl_;
+};
+
+/// Process-wide pool used by the GEMM kernels. Defaults to 1 thread (serial)
+/// unless the REALM_THREADS environment variable names a larger count at
+/// first use; resizable at runtime via set_global_threads().
+[[nodiscard]] ThreadPool& global_pool();
+
+/// Replace the global pool with one of `threads` total threads (clamped to
+/// >= 1). Must not be called while a parallel_for on the global pool is in
+/// flight on another thread.
+void set_global_threads(std::size_t threads);
+
+[[nodiscard]] std::size_t global_threads();
+
+}  // namespace realm::util

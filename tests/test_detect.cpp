@@ -6,9 +6,11 @@
 
 #include "realm_test.h"
 #include "tensor/gemm.h"
+#include "tensor/gemm_kernels.h"
 #include "tensor/quant.h"
 #include "tensor/tensor.h"
 #include "util/rng.h"
+#include "util/threadpool.h"
 
 using namespace realm::detect;
 using namespace realm::tensor;
@@ -203,6 +205,73 @@ REALM_TEST(detect_roc_over_random_bitflips) {
   }
   REALM_CHECK(injected_runs > 0);
   REALM_CHECK_EQ(detected_runs, injected_runs);  // 100% detection, column-exact
+}
+
+namespace {
+
+/// Flips exactly one high bit of one fixed element — the minimal fault the
+/// end-to-end pipeline must detect, localize, and correct.
+class OneBitFlipAt final : public FaultInjector {
+ public:
+  OneBitFlipAt(std::size_t index, int bit) : index_(index), bit_(bit) {}
+  InjectionReport inject(std::span<std::int32_t> data, realm::util::Rng&) const override {
+    data[index_] ^= std::int32_t{1} << bit_;
+    return {.flipped_bits = 1, .corrupted_values = 1};
+  }
+
+ private:
+  std::size_t index_;
+  int bit_;
+};
+
+/// Restores the serial default even when a REALM_CHECK throws mid-case, so a
+/// failure can't leak an 8-thread pool into the remaining cases.
+struct SerialGuard {
+  ~SerialGuard() { realm::util::set_global_threads(1); }
+};
+
+}  // namespace
+
+REALM_TEST(fast_path_detects_and_corrects_with_threads_on_and_off) {
+  // End-to-end on the dispatched kernel: detection screens whatever tier
+  // actually serves production GEMMs (the fastest supported one unless
+  // REALM_KERNEL overrides), and the verdict, localization, and corrected
+  // bits must be identical at every thread count.
+  Rng rng(40);
+  SerialGuard guard;
+  ProtectedGemm pg = make_pg(96, 64, rng);
+  const MatF a = random_f32(32, 96, rng);
+  const QuantParams qa = calibrate(a.flat());
+  const MatI8 a8 = quantize(a, qa);
+  const std::size_t faulty_index = 7 * 64 + 21;  // element (7, 21)
+  const OneBitFlipAt inj(faulty_index, 28);
+  const NullInjector none;
+
+  realm::util::set_global_threads(1);
+  const ProtectedGemmResult golden = pg.run_quantized(a8, qa, none, rng);
+  const ProtectedGemmResult serial = pg.run_quantized(a8, qa, inj, rng);
+  REALM_CHECK(serial.report.verdict == Verdict::kCorrected);
+  REALM_CHECK(serial.acc == golden.acc);
+
+  // Localization from a detect-only config, serial vs threaded.
+  DetectionConfig no_fix;
+  no_fix.recompute_on_detect = false;
+  ProtectedGemm pg_loc(no_fix);
+  pg_loc.set_weights_quantized(pg.weights(), pg.weight_params());
+
+  for (const std::size_t threads : {std::size_t{1}, std::size_t{8}}) {
+    realm::util::set_global_threads(threads);
+    const ProtectedGemmResult fixed = pg.run_quantized(a8, qa, inj, rng);
+    REALM_CHECK(fixed.report.verdict == Verdict::kCorrected);
+    REALM_CHECK(fixed.acc == golden.acc);       // corrected bits identical
+    REALM_CHECK(fixed.output == golden.output);
+    const ProtectedGemmResult located = pg_loc.run_quantized(a8, qa, inj, rng);
+    REALM_CHECK(located.report.verdict == Verdict::kDetected);
+    REALM_CHECK_EQ(located.report.fault_rows.size(), std::size_t{1});
+    REALM_CHECK_EQ(located.report.fault_cols.size(), std::size_t{1});
+    REALM_CHECK_EQ(located.report.fault_rows[0], std::size_t{7});
+    REALM_CHECK_EQ(located.report.fault_cols[0], std::size_t{21});
+  }
 }
 
 REALM_TEST(misuse_is_rejected) {
