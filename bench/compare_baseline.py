@@ -1,14 +1,24 @@
 #!/usr/bin/env python3
 """CI perf-regression gate for protected_gemm_bench --json output.
 
-Compares single-thread raw GEMM throughput per shape against the checked-in
-bench/baseline.json and fails (exit 1) when any shape regresses more than the
-tolerance. The baseline is a deliberately conservative floor (see README
-"Refreshing the baseline"): it must hold across GitHub runner generations, so
-the gate catches structural regressions (losing SIMD dispatch, packing, or
-blocking), not single-digit noise.
+Compares a single-thread run per shape against the checked-in
+bench/baseline.json and fails (exit 1) on any regression beyond tolerance in:
+
+  * raw_gops     — floor:   current >= baseline * (1 - tolerance)
+  * detect_ms    — ceiling: current <= baseline * (1 + tolerance) + slack_ms
+  * overhead_pct — ceiling: current <= baseline * (1 + tolerance) + slack_pct
+
+The baseline is a deliberately conservative envelope (see README "Refreshing
+the baseline"): it must hold across GitHub runner generations, so the gate
+catches structural regressions (losing SIMD dispatch, packing, blocking, the
+fused eᵀC reduction, or the vectorized checksum screen), not single-digit
+noise. The absolute slack terms exist because detect_ms on small shapes is a
+difference of two ~0.1 ms measurements — a 20% relative band alone would gate
+on timer noise there, while on the large shapes (where a lost fusion shows up
+as whole milliseconds) the slack is negligible against the signal.
 
 usage: compare_baseline.py CURRENT.json BASELINE.json [--tolerance 0.20]
+                           [--slack-ms 0.15] [--slack-pct 10]
 """
 
 import argparse
@@ -31,6 +41,18 @@ def main():
         default=0.20,
         help="allowed fractional regression vs baseline (default 0.20)",
     )
+    ap.add_argument(
+        "--slack-ms",
+        type=float,
+        default=0.15,
+        help="absolute detect_ms headroom added to the ceiling (default 0.15)",
+    )
+    ap.add_argument(
+        "--slack-pct",
+        type=float,
+        default=10.0,
+        help="absolute overhead percentage-point headroom (default 10)",
+    )
     args = ap.parse_args()
 
     current = load(args.current)
@@ -41,28 +63,48 @@ def main():
 
     base_shapes = {(s["m"], s["k"], s["n"]): s for s in baseline["shapes"]}
     failures = []
-    print(f"{'shape':>18} {'baseline':>10} {'current':>10} {'floor':>10}  status")
+    hdr = f"{'shape':>18} {'metric':>12} {'baseline':>9} {'current':>9} {'bound':>9}  status"
+    print(hdr)
     for cur in current["shapes"]:
         key = (cur["m"], cur["k"], cur["n"])
         base = base_shapes.get(key)
         if base is None:
-            print(f"{str(key):>18} {'-':>10} {cur['raw_gops']:>10.1f} {'-':>10}  (no baseline)")
+            print(f"{str(key):>18} {'-':>12} {'-':>9} {'-':>9} {'-':>9}  (no baseline)")
             continue
-        floor = base["raw_gops"] * (1.0 - args.tolerance)
-        ok = cur["raw_gops"] >= floor
-        status = "ok" if ok else "REGRESSION"
-        print(
-            f"{str(key):>18} {base['raw_gops']:>10.1f} {cur['raw_gops']:>10.1f} "
-            f"{floor:>10.1f}  {status}"
-        )
-        if not ok:
-            failures.append(key)
+        checks = [
+            # (metric, bound, ok)
+            (
+                "raw_gops",
+                base["raw_gops"] * (1.0 - args.tolerance),
+                lambda cur_v, bound: cur_v >= bound,
+            ),
+            (
+                "detect_ms",
+                base["detect_ms"] * (1.0 + args.tolerance) + args.slack_ms,
+                lambda cur_v, bound: cur_v <= bound,
+            ),
+            (
+                "overhead_pct",
+                base["overhead_pct"] * (1.0 + args.tolerance) + args.slack_pct,
+                lambda cur_v, bound: cur_v <= bound,
+            ),
+        ]
+        for metric, bound, ok_fn in checks:
+            cur_v = cur[metric]
+            ok = ok_fn(cur_v, bound)
+            status = "ok" if ok else "REGRESSION"
+            print(
+                f"{str(key):>18} {metric:>12} {base[metric]:>9.2f} {cur_v:>9.2f} "
+                f"{bound:>9.2f}  {status}"
+            )
+            if not ok:
+                failures.append((key, metric))
 
     missing = set(base_shapes) - {(s["m"], s["k"], s["n"]) for s in current["shapes"]}
     if missing:
         sys.exit(f"shapes present in baseline but missing from current run: {sorted(missing)}")
     if failures:
-        sys.exit(f"single-thread GOPS regressed beyond tolerance on: {failures}")
+        sys.exit(f"regressed beyond tolerance: {failures}")
     print("perf gate passed")
 
 

@@ -8,6 +8,7 @@
 // detect/correct latency, kernel tier, thread count) that CI archives per
 // commit and gates against bench/baseline.json.
 #include <algorithm>
+#include <array>
 #include <chrono>
 #include <cstdint>
 #include <cstdio>
@@ -45,23 +46,30 @@ struct ShapeResult {
   std::size_t m, k, n;
   double raw_gops = 0;      ///< unprotected weight-stationary gemm (prepacked W)
   double prot_gops = 0;     ///< full ProtectedGemm pipeline, clean runs
-  double overhead_pct = 0;  ///< (prot_time / raw_time - 1) * 100
-  /// Everything protection adds on a clean run (checksum prediction + screen
-  /// + dequantize): clean protected minus raw. Raw uses the same prepacked
-  /// weight panels as ProtectedGemm, so packing cost cancels out of the diff.
+  double overhead_pct = 0;  ///< detect_ms relative to the raw GEMM time, in %
+  /// Everything protection adds on a clean run (fused checksum prediction +
+  /// SIMD screen + dequantize): clean protected minus raw, taken per
+  /// interleaved block so frequency drift between the two loops cancels. Raw
+  /// uses the same prepacked weight panels as ProtectedGemm, so packing cost
+  /// cancels out of the diff too.
   double detect_ms = 0;
   double correct_ms = 0;    ///< detect + recompute + recheck: injected - clean
   std::string verdict;      ///< verdict of the last injected run
 };
 
 int usage() {
-  std::cerr << "usage: protected_gemm_bench [--csv] [--threads N] [--repeat N] [--json FILE]\n"
+  std::cerr << "usage: protected_gemm_bench [--csv] [--threads N] [--repeat N] [--json FILE]"
+               " [--smoke]\n"
             << "  --csv        emit CSV instead of a box-drawn table\n"
             << "  --threads N  total GEMM threads (default 1; sets the global pool)\n"
-            << "  --repeat N   fixed repetition count per measurement (default: auto,\n"
-            << "               sized so each cell measures >= ~50ms of work)\n"
+            << "  --repeat N   repetitions per measurement, run as interleaved\n"
+            << "               raw/protected pairs (default: auto, sized so each cell\n"
+            << "               measures >= ~50ms of work)\n"
             << "  --json FILE  also write a machine-readable record (for CI archival\n"
-            << "               and the baseline regression gate)\n";
+            << "               and the baseline regression gate)\n"
+            << "  --smoke      tiny shape set (128^3 plus a ragged edge shape); paired\n"
+            << "               with --repeat 1 it drives every SIMD reduction and fused\n"
+            << "               path once under the sanitizer CI leg\n";
   return 2;
 }
 
@@ -99,6 +107,7 @@ void write_json(const std::string& path, const std::vector<ShapeResult>& results
 
 int main(int argc, char** argv) {
   bool csv = false;
+  bool smoke = false;
   long threads = 1;
   int repeat = 0;  // 0 = auto
   std::string json_path;
@@ -106,6 +115,8 @@ int main(int argc, char** argv) {
     const std::string arg = argv[i];
     if (arg == "--csv") {
       csv = true;
+    } else if (arg == "--smoke") {
+      smoke = true;
     } else if (arg == "--threads" && i + 1 < argc) {
       threads = std::strtol(argv[++i], nullptr, 10);
       if (threads < 1) return usage();
@@ -128,11 +139,15 @@ int main(int argc, char** argv) {
   table.header({"m", "k", "n", "raw_gops", "prot_gops", "overhead", "detect_ms", "correct_ms",
                 "verdict"});
 
-  const std::size_t shapes[][3] = {{64, 256, 256},
-                                   {128, 512, 512},
-                                   {512, 512, 512},
-                                   {256, 1024, 1024},
-                                   {64, 4096, 1024}};
+  // The smoke set keeps sanitizer runs fast while still covering a full-tile
+  // shape and a ragged one (edge microkernels + scalar reduction tails).
+  const std::vector<std::array<std::size_t, 3>> shapes =
+      smoke ? std::vector<std::array<std::size_t, 3>>{{128, 128, 128}, {33, 67, 129}}
+            : std::vector<std::array<std::size_t, 3>>{{64, 256, 256},
+                                                      {128, 512, 512},
+                                                      {512, 512, 512},
+                                                      {256, 1024, 1024},
+                                                      {64, 4096, 1024}};
   const realm::fault::NullInjector none;
   const realm::fault::MagFreqInjector mag_freq(1 << 20, 3);
 
@@ -167,31 +182,57 @@ int main(int argc, char** argv) {
     const int reps =
         repeat > 0 ? repeat : static_cast<int>(std::clamp(0.05 / warm_s, 1.0, 1000.0));
 
-    t0 = Clock::now();
-    for (int r = 0; r < reps; ++r) {
-      realm::tensor::gemm_i8_prepacked(a8, pg.weights(), packed_w, c);
-    }
-    const double raw_s = seconds_since(t0) / reps;
-
-    // Clean protected runs: GEMM + checksum screen, no fault.
-    t0 = Clock::now();
-    for (int r = 0; r < reps; ++r) (void)pg.run_quantized(a8, qa, none, rng);
-    const double prot_clean_s = seconds_since(t0) / reps;
-
-    // Injected runs: detect + recompute-correct + recheck every time.
+    // detect_ms and overhead are DIFFERENCES of two measurements, so a
+    // frequency/turbo shift between the raw and protected timing windows
+    // shows up as phantom overhead (or phantom savings). Interleave the
+    // loops at single-rep granularity — each raw run immediately followed by
+    // a clean protected run shares its thermal environment — and take the
+    // MEDIAN of the per-pair differences: a mean lets one turbo burst
+    // dominate, a min zeroes out whenever any pair happened to run clean
+    // faster than raw. Clean protected runs recycle their buffers
+    // (run_quantized_into), matching the raw loop's reused `c`, so the
+    // difference is the steady-state screen, not per-run page faults.
+    realm::detect::ProtectedGemmResult prot;
+    pg.run_quantized_into(a8, qa, none, rng, prot);  // warm the buffers
     realm::detect::Verdict last = realm::detect::Verdict::kClean;
-    const int inj_reps = std::max(1, reps / 2);
-    t0 = Clock::now();
-    for (int r = 0; r < inj_reps; ++r) {
-      last = pg.run_quantized(a8, qa, mag_freq, rng).report.verdict;
+    std::vector<double> raw_t(reps), clean_t(reps), detect_d(reps), correct_d;
+    correct_d.reserve((reps + 1) / 2);
+    for (int r = 0; r < reps; ++r) {
+      t0 = Clock::now();
+      realm::tensor::gemm_i8_prepacked(a8, pg.weights(), packed_w, c);
+      raw_t[r] = seconds_since(t0);
+
+      t0 = Clock::now();
+      pg.run_quantized_into(a8, qa, none, rng, prot);
+      clean_t[r] = seconds_since(t0);
+      detect_d[r] = clean_t[r] - raw_t[r];
+
+      // Injected on every other rep: detect + recompute-correct + recheck.
+      if (r % 2 == 0) {
+        t0 = Clock::now();
+        pg.run_quantized_into(a8, qa, mag_freq, rng, prot);
+        last = prot.report.verdict;
+        correct_d.push_back(seconds_since(t0) - clean_t[r]);
+      }
     }
-    const double prot_inject_s = seconds_since(t0) / inj_reps;
+    const auto median = [](std::vector<double>& v) {
+      std::nth_element(v.begin(), v.begin() + v.size() / 2, v.end());
+      return v[v.size() / 2];
+    };
+    const double raw_s = median(raw_t);
+    const double prot_clean_s = median(clean_t);
+    // The screen cannot cost negative time; clamp residual pair noise.
+    const double detect_s = std::max(median(detect_d), 0.0);
+    const double correct_s = std::max(median(correct_d), 0.0);
 
     res.raw_gops = ops / raw_s / 1e9;
     res.prot_gops = ops / prot_clean_s / 1e9;
-    res.overhead_pct = (prot_clean_s / raw_s - 1.0) * 100.0;
-    res.detect_ms = (prot_clean_s - raw_s) * 1e3;
-    res.correct_ms = (prot_inject_s - prot_clean_s) * 1e3;
+    // Overhead derives from the same block-coherent delta as detect_ms, so
+    // the two gated metrics can never disagree about whether protection cost
+    // anything.
+    res.overhead_pct = detect_s / raw_s * 100.0;
+    res.detect_ms = detect_s * 1e3;
+    res.correct_ms = correct_s * 1e3;
     res.verdict = realm::detect::to_string(last);
     results.push_back(res);
 

@@ -76,10 +76,18 @@ void ProtectedGemm::set_weights_quantized(tensor::MatI8 w8, tensor::QuantParams 
   if (w8.empty()) throw std::invalid_argument("ProtectedGemm: empty weights");
   w8_ = std::move(w8);
   qw_ = qw;
+  // Weight-stationary model: both checksum bases (W·e and eᵀW) and the SIMD
+  // panels are computed once and stay resident with the weights, like the
+  // Fig. 7 checksum row. Every protected GEMM (and its recompute replay)
+  // then skips the O(k·n) pack.
   w_row_basis_ = tensor::row_sums(w8_);
-  // Weight-stationary model: pack the SIMD panels once, alongside W·e. Every
-  // protected GEMM (and its recompute replay) then skips the O(k·n) pack.
+  w_col_basis_ = tensor::col_sums(w8_);
   w_packed_ = tensor::kernels::pack_b(w8_.data(), w8_.rows(), w8_.cols());
+}
+
+bool ProtectedGemm::verify_weight_integrity() const {
+  if (w8_.empty()) throw std::logic_error("ProtectedGemm: set_weights() not called");
+  return tensor::row_sums(w8_) == w_row_basis_ && tensor::col_sums(w8_) == w_col_basis_;
 }
 
 ProtectedGemmResult ProtectedGemm::run(const tensor::MatF& a,
@@ -93,17 +101,31 @@ ProtectedGemmResult ProtectedGemm::run_quantized(const tensor::MatI8& a8,
                                                  tensor::QuantParams qa,
                                                  const fault::FaultInjector& injector,
                                                  util::Rng& rng) const {
+  ProtectedGemmResult result;
+  run_quantized_into(a8, qa, injector, rng, result);
+  return result;
+}
+
+void ProtectedGemm::run_quantized_into(const tensor::MatI8& a8, tensor::QuantParams qa,
+                                       const fault::FaultInjector& injector, util::Rng& rng,
+                                       ProtectedGemmResult& result) const {
   if (w8_.empty()) throw std::logic_error("ProtectedGemm: set_weights() not called");
   if (a8.cols() != w8_.rows()) {
     throw std::invalid_argument("ProtectedGemm: activation/weight dim mismatch");
   }
 
-  ProtectedGemmResult result;
-  tensor::gemm_i8_prepacked(a8, w8_, w_packed_, result.acc);
+  result.report = DetectionVerdict{};
+  // The fused store-phase reduction of the multiply IS the predicted column
+  // checksum: injection perturbs the accumulator only after this line, so
+  // the fused sums are eᵀ(A·W) of the true product, which equals (eᵀA)·W
+  // exactly (integer checksum identity — cross-checked in the test suite).
+  // This models the dedicated fault-free checksum datapath of Fig. 7 and
+  // replaces the scalar O(k·n) predict_col_checksum pass.
+  std::vector<std::int64_t> predicted_cols;
+  tensor::gemm_i8_prepacked(a8, w8_, w_packed_, result.acc, &predicted_cols);
   result.report.injection = injector.inject(result.acc.flat(), rng);
 
   // Column side: predicted (eᵀA)·W vs observed eᵀC, MSD thresholding.
-  const std::vector<std::int64_t> predicted_cols = tensor::predict_col_checksum(a8, w8_);
   tensor::ColumnDeviation dev =
       tensor::column_deviation_from_predicted(predicted_cols, result.acc);
   load_column_stats(result.report, dev, cfg_.msd_datapath_bits);
@@ -143,8 +165,7 @@ ProtectedGemmResult ProtectedGemm::run_quantized(const tensor::MatI8& a8,
     }
   }
 
-  result.output = tensor::dequantize_acc(result.acc, qa, qw_);
-  return result;
+  tensor::dequantize_acc(result.acc, qa, qw_, result.output);
 }
 
 std::uint64_t calibrate_msd_threshold(const ProtectedGemm& pg, std::size_t m,

@@ -11,11 +11,20 @@
 // corrected by fault-free recompute (the paper's fallback: replay the tile).
 //
 // The weight operand is stationary, matching the accelerator: set_weights()
-// quantizes once and precomputes the weight-side checksum basis W·e, making
-// the row-side check O(m·k) per GEMM. The column side still predicts
-// (eᵀA)·W each run, so total checking cost is O(k·n + m·k + m·n) against the
-// O(m·k·n) GEMM — amortized only when m (the batch/sequence dim) is large;
-// at m = 1 decode shapes the O(k·n) column prediction dominates.
+// quantizes once and precomputes both checksum bases — W·e for the row-side
+// check (O(m·k) per GEMM) and eᵀW, kept resident like the hardware's Fig. 7
+// checksum row (consumed by weight-integrity scrubbing and the reduced-width
+// realm::sa datapath work).
+//
+// The column side's predicted checksum (eᵀA)·W is NOT computed as a separate
+// O(k·n) pass: the GEMM kernels fuse the eᵀC reduction into their store
+// phase, and because fault injection in this model perturbs the accumulator
+// AFTER the multiply, the fused sums are the column checksum of the true
+// product — exactly (eᵀA)·W by the checksum identity. This models Fig. 7's
+// dedicated (fault-free) checksum datapath running alongside the array; the
+// observed side is then re-read from the possibly-faulted accumulator by the
+// SIMD column-sum screen. Total per-run checking cost is O(m·k + m·n), all
+// vectorized — the old scalar O(k·n) prediction term is gone entirely.
 #pragma once
 
 #include <cstdint>
@@ -106,15 +115,39 @@ class ProtectedGemm {
                                                   const fault::FaultInjector& injector,
                                                   util::Rng& rng) const;
 
+  /// Steady-state serving variant: recycles `result`'s accumulator and output
+  /// buffers (resized only on shape change), so back-to-back protected GEMMs
+  /// pay no per-run allocation or page faults. The report is reset; all other
+  /// semantics identical to run_quantized.
+  void run_quantized_into(const tensor::MatI8& a8, tensor::QuantParams qa,
+                          const fault::FaultInjector& injector, util::Rng& rng,
+                          ProtectedGemmResult& result) const;
+
   [[nodiscard]] const tensor::MatI8& weights() const noexcept { return w8_; }
   [[nodiscard]] tensor::QuantParams weight_params() const noexcept { return qw_; }
   [[nodiscard]] const DetectionConfig& config() const noexcept { return cfg_; }
+
+  /// The resident checksum bases (set_weights precomputes both).
+  [[nodiscard]] const std::vector<std::int64_t>& weight_row_basis() const noexcept {
+    return w_row_basis_;
+  }
+  [[nodiscard]] const std::vector<std::int64_t>& weight_col_basis() const noexcept {
+    return w_col_basis_;
+  }
+
+  /// Scrub the stationary weight tile against its resident bases: recompute
+  /// eᵀW and W·e from w8_ and compare with the values captured at
+  /// set_weights. False means the weight memory (not a GEMM) was corrupted —
+  /// the class of fault recompute-on-detect cannot fix, because replaying the
+  /// multiply reuses the same bad operand.
+  [[nodiscard]] bool verify_weight_integrity() const;
 
  private:
   DetectionConfig cfg_;
   tensor::MatI8 w8_;
   tensor::QuantParams qw_;
   std::vector<std::int64_t> w_row_basis_;  ///< W·e, resident with the weights
+  std::vector<std::int64_t> w_col_basis_;  ///< eᵀW, resident likewise (Fig. 7 row)
   tensor::kernels::PackedB w_packed_;      ///< SIMD panels, resident likewise
 };
 

@@ -2,51 +2,40 @@
 
 #include <stdexcept>
 
+#include "tensor/checksum_kernels.h"
 #include "util/bitmath.h"
 
 namespace realm::tensor {
 
-namespace {
-
-template <typename T>
-std::vector<std::int64_t> col_sums_impl(const Mat<T>& m) {
-  std::vector<std::int64_t> sums(m.cols(), 0);
-  for (std::size_t r = 0; r < m.rows(); ++r) {
-    const T* row = m.data() + r * m.cols();
-    for (std::size_t c = 0; c < m.cols(); ++c) sums[c] += static_cast<std::int64_t>(row[c]);
-  }
+std::vector<std::int64_t> col_sums(const MatI8& m) {
+  std::vector<std::int64_t> sums(m.cols());
+  kernels::col_sums_i8(m.data(), m.rows(), m.cols(), sums.data());
   return sums;
 }
 
-template <typename T>
-std::vector<std::int64_t> row_sums_impl(const Mat<T>& m) {
-  std::vector<std::int64_t> sums(m.rows(), 0);
-  for (std::size_t r = 0; r < m.rows(); ++r) {
-    const T* row = m.data() + r * m.cols();
-    std::int64_t acc = 0;
-    for (std::size_t c = 0; c < m.cols(); ++c) acc += static_cast<std::int64_t>(row[c]);
-    sums[r] = acc;
-  }
+std::vector<std::int64_t> col_sums(const MatI32& m) {
+  std::vector<std::int64_t> sums(m.cols());
+  kernels::col_sums_i32(m.data(), m.rows(), m.cols(), sums.data());
   return sums;
 }
 
-}  // namespace
+std::vector<std::int64_t> row_sums(const MatI8& m) {
+  std::vector<std::int64_t> sums(m.rows());
+  kernels::row_sums_i8(m.data(), m.rows(), m.cols(), sums.data());
+  return sums;
+}
 
-std::vector<std::int64_t> col_sums(const MatI8& m) { return col_sums_impl(m); }
-std::vector<std::int64_t> col_sums(const MatI32& m) { return col_sums_impl(m); }
-std::vector<std::int64_t> row_sums(const MatI8& m) { return row_sums_impl(m); }
-std::vector<std::int64_t> row_sums(const MatI32& m) { return row_sums_impl(m); }
+std::vector<std::int64_t> row_sums(const MatI32& m) {
+  std::vector<std::int64_t> sums(m.rows());
+  kernels::row_sums_i32(m.data(), m.rows(), m.cols(), sums.data());
+  return sums;
+}
 
 std::vector<std::int64_t> predict_col_checksum(const MatI8& a, const MatI8& b) {
   if (a.cols() != b.rows()) throw std::invalid_argument("predict_col_checksum: dim mismatch");
   const std::vector<std::int64_t> ea = col_sums(a);  // 1 x k
-  std::vector<std::int64_t> out(b.cols(), 0);
-  for (std::size_t kk = 0; kk < b.rows(); ++kk) {
-    const std::int64_t av = ea[kk];
-    if (av == 0) continue;
-    const std::int8_t* brow = b.data() + kk * b.cols();
-    for (std::size_t j = 0; j < b.cols(); ++j) out[j] += av * static_cast<std::int64_t>(brow[j]);
-  }
+  std::vector<std::int64_t> out(b.cols());
+  kernels::predict_col_checksum(ea.data(), b.data(), b.rows(), b.cols(), out.data());
   return out;
 }
 
@@ -55,15 +44,8 @@ std::vector<std::int64_t> predict_row_checksum(const MatI8& a,
   if (a.cols() != b_row_basis.size()) {
     throw std::invalid_argument("predict_row_checksum: basis length mismatch");
   }
-  std::vector<std::int64_t> out(a.rows(), 0);
-  for (std::size_t i = 0; i < a.rows(); ++i) {
-    const std::int8_t* arow = a.data() + i * a.cols();
-    std::int64_t acc = 0;
-    for (std::size_t kk = 0; kk < a.cols(); ++kk) {
-      acc += static_cast<std::int64_t>(arow[kk]) * b_row_basis[kk];
-    }
-    out[i] = acc;
-  }
+  std::vector<std::int64_t> out(a.rows());
+  kernels::predict_row_checksum(a.data(), a.rows(), a.cols(), b_row_basis.data(), out.data());
   return out;
 }
 

@@ -9,6 +9,12 @@
 // All checksum arithmetic is int64 here; reduced hardware widths (16-bit eᵀW
 // row, 32-bit accumulator buses) are modeled separately in realm::sa, which
 // reuses these exact functions with clamping.
+//
+// Every reduction routes through the tiered SIMD layer in
+// checksum_kernels.{h,cpp} (avx512/avx2/portable, picked by the same runtime
+// dispatch as the GEMM — kernels::active_tier()) and is row- or
+// column-sharded across util::global_pool(); results are bit-identical to the
+// int64 scalar reference at every tier and thread count.
 #pragma once
 
 #include <cstdint>

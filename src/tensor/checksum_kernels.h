@@ -1,0 +1,54 @@
+// Tiered SIMD reductions for the ABFT checksum screen.
+//
+// Mirrors the gemm_kernels architecture: one bit-exact contract, three
+// implementations (avx512 / avx2 / portable) selected by the SAME runtime
+// dispatch — kernels::active_tier() — so REALM_KERNEL and set_active_tier()
+// steer the GEMM and its checksum screen together. Every function produces
+// results identical to the int64 scalar reference at every tier and every
+// thread count: all arithmetic is exact integer math (associative and
+// commutative), and work is sharded so each output element is owned by
+// exactly one chunk (rows for row-indexed outputs, column bands for
+// column-indexed outputs — no cross-chunk merge anywhere).
+//
+// Widening strategy per kernel (the scalar loops these replace accumulated
+// int64 one element at a time):
+//  * col_sums_i8  — rows are added into int16 lane accumulators in blocks of
+//    ≤256 rows (256·|−128| = 32768 exactly saturates nothing: int16 min is
+//    −32768), then flushed into the int64 output; ~32 columns per vector op.
+//  * col_sums_i32 — int32 lanes sign-extended to int64 and added directly.
+//  * row_sums_i8  — the vpsadbw trick: bias to uint8 (xor 0x80), sum absolute
+//    differences against zero into 64-bit lanes, subtract 128·cols once.
+//  * row_sums_i32 — sign-extend + add, horizontal reduce per row.
+//  * predict_*    — 32×32→64-bit vpmuldq products (the multiplier eᵀA / W·e
+//    entries are bounded by 128·rows, so they fit int32 for every matrix
+//    smaller than 2^24 rows; the unreachable huge case falls back to scalar).
+//
+// All pointers are to dense row-major data; `out` buffers are fully
+// overwritten. Shapes with rows == 0 or cols == 0 write zeros.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace realm::tensor::kernels {
+
+/// out[j] = Σ_r m[r][j]  (length cols).
+void col_sums_i8(const std::int8_t* m, std::size_t rows, std::size_t cols, std::int64_t* out);
+void col_sums_i32(const std::int32_t* m, std::size_t rows, std::size_t cols, std::int64_t* out);
+
+/// out[r] = Σ_j m[r][j]  (length rows).
+void row_sums_i8(const std::int8_t* m, std::size_t rows, std::size_t cols, std::int64_t* out);
+void row_sums_i32(const std::int32_t* m, std::size_t rows, std::size_t cols, std::int64_t* out);
+
+/// out[j] = Σ_k ea[k] · b[k][j]  (length n): the predicted column checksum
+/// (eᵀA)·B from a precomputed activation basis ea = col_sums(A) and row-major
+/// b[k x n].
+void predict_col_checksum(const std::int64_t* ea, const std::int8_t* b, std::size_t k,
+                          std::size_t n, std::int64_t* out);
+
+/// out[i] = Σ_k a[i][k] · basis[k]  (length m): the predicted row checksum
+/// A·(B·e) from the weight-resident basis = row_sums(B).
+void predict_row_checksum(const std::int8_t* a, std::size_t m, std::size_t k,
+                          const std::int64_t* basis, std::int64_t* out);
+
+}  // namespace realm::tensor::kernels

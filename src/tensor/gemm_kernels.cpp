@@ -5,6 +5,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <mutex>
 #include <stdexcept>
 #include <string>
 #include <vector>
@@ -125,8 +126,19 @@ inline std::int32_t a_pair(const std::int16_t* p) noexcept {
 // inner j loop). Also the reference the SIMD tiers are cross-checked against.
 // ---------------------------------------------------------------------------
 
+/// Fused eᵀC for the portable tier and the SIMD edge cases that already
+/// spilled the tile to memory: fold finished C rows into the shard's partial
+/// column sums (the rows are still cache-hot from the store).
+void csum_rows(const std::int32_t* c, std::size_t n, std::size_t i0, std::size_t i1,
+               std::int64_t* csum) {
+  for (std::size_t i = i0; i < i1; ++i) {
+    const std::int32_t* crow = c + i * n;
+    for (std::size_t j = 0; j < n; ++j) csum[j] += crow[j];
+  }
+}
+
 void portable_rows(const std::int8_t* a, const std::int8_t* b, std::int32_t* c, std::size_t k,
-                   std::size_t n, std::size_t i0, std::size_t i1) {
+                   std::size_t n, std::size_t i0, std::size_t i1, std::int64_t* csum) {
   constexpr std::size_t kBlock = 64;
   std::memset(c + i0 * n, 0, (i1 - i0) * n * sizeof(std::int32_t));
   for (std::size_t kb = 0; kb < k; kb += kBlock) {
@@ -142,10 +154,12 @@ void portable_rows(const std::int8_t* a, const std::int8_t* b, std::int32_t* c, 
       }
     }
   }
+  if (csum) csum_rows(c, n, i0, i1, csum);
 }
 
 void portable_bt_rows(const std::int8_t* a, const std::int8_t* bt, std::int32_t* c,
-                      std::size_t k, std::size_t n, std::size_t i0, std::size_t i1) {
+                      std::size_t k, std::size_t n, std::size_t i0, std::size_t i1,
+                      std::int64_t* csum) {
   // Dot-product form: both operands stream contiguously along k.
   for (std::size_t i = i0; i < i1; ++i) {
     const std::int8_t* arow = a + i * k;
@@ -159,6 +173,7 @@ void portable_bt_rows(const std::int8_t* a, const std::int8_t* bt, std::int32_t*
       crow[j] = acc;
     }
   }
+  if (csum) csum_rows(c, n, i0, i1, csum);
 }
 
 #if REALM_X86
@@ -169,7 +184,8 @@ void portable_bt_rows(const std::int8_t* a, const std::int8_t* bt, std::int32_t*
 
 __attribute__((target("avx2"))) void kern_avx2_full(const std::int16_t* a16, std::size_t lda,
                                                     const std::int16_t* pb, std::size_t kpairs,
-                                                    std::int32_t* c, std::size_t ldc) {
+                                                    std::int32_t* c, std::size_t ldc,
+                                                    std::int64_t* csum) {
   __m256i acc[kMr256][2];
   for (std::size_t r = 0; r < kMr256; ++r) {
     acc[r][0] = _mm256_setzero_si256();
@@ -190,12 +206,33 @@ __attribute__((target("avx2"))) void kern_avx2_full(const std::int16_t* a16, std
     _mm256_storeu_si256(reinterpret_cast<__m256i*>(c + r * ldc), acc[r][0]);
     _mm256_storeu_si256(reinterpret_cast<__m256i*>(c + r * ldc + 8), acc[r][1]);
   }
+  if (csum) {
+    // Fused eᵀC: fold the tile's rows into per-column int64 sums straight
+    // from the accumulator registers (int32 row sums could overflow: four
+    // values of magnitude 2^30 exceed int32, so widen before the row fold).
+    for (std::size_t h = 0; h < 2; ++h) {
+      __m256i lo = _mm256_setzero_si256(), hi = _mm256_setzero_si256();
+      for (std::size_t r = 0; r < kMr256; ++r) {
+        lo = _mm256_add_epi64(lo, _mm256_cvtepi32_epi64(_mm256_castsi256_si128(acc[r][h])));
+        hi = _mm256_add_epi64(hi,
+                              _mm256_cvtepi32_epi64(_mm256_extracti128_si256(acc[r][h], 1)));
+      }
+      std::int64_t* cs = csum + h * 8;
+      _mm256_storeu_si256(
+          reinterpret_cast<__m256i*>(cs),
+          _mm256_add_epi64(_mm256_loadu_si256(reinterpret_cast<const __m256i*>(cs)), lo));
+      _mm256_storeu_si256(
+          reinterpret_cast<__m256i*>(cs + 4),
+          _mm256_add_epi64(_mm256_loadu_si256(reinterpret_cast<const __m256i*>(cs + 4)), hi));
+    }
+  }
 }
 
 __attribute__((target("avx2"))) void kern_avx2_edge(const std::int16_t* a16, std::size_t lda,
                                                     const std::int16_t* pb, std::size_t kpairs,
                                                     std::int32_t* c, std::size_t ldc,
-                                                    std::size_t mr, std::size_t jw) {
+                                                    std::size_t mr, std::size_t jw,
+                                                    std::int64_t* csum) {
   __m256i acc[kMr256][2];
   for (std::size_t r = 0; r < mr; ++r) {
     acc[r][0] = _mm256_setzero_si256();
@@ -217,12 +254,16 @@ __attribute__((target("avx2"))) void kern_avx2_edge(const std::int16_t* a16, std
     _mm256_store_si256(reinterpret_cast<__m256i*>(tmp), acc[r][0]);
     _mm256_store_si256(reinterpret_cast<__m256i*>(tmp + 8), acc[r][1]);
     std::memcpy(c + r * ldc, tmp, jw * sizeof(std::int32_t));
+    if (csum) {
+      for (std::size_t j = 0; j < jw; ++j) csum[j] += tmp[j];
+    }
   }
 }
 
 __attribute__((target("avx2"))) void avx2_rows(const std::int8_t* a, const std::int16_t* pb,
                                                std::int32_t* c, std::size_t k, std::size_t n,
-                                               std::size_t i0, std::size_t i1) {
+                                               std::size_t i0, std::size_t i1,
+                                               std::int64_t* csum) {
   const std::size_t kpairs = (k + 1) / 2;
   const std::size_t kpad = 2 * kpairs;
   const std::size_t panels = (n + kNr256 - 1) / kNr256;
@@ -238,10 +279,11 @@ __attribute__((target("avx2"))) void avx2_rows(const std::int8_t* a, const std::
         const std::size_t mr = std::min(kMr256, ie - i);
         const std::int16_t* arows = a16.data() + (i - ib) * kpad;
         std::int32_t* crows = c + i * n + j0;
+        std::int64_t* cs = csum ? csum + j0 : nullptr;
         if (mr == kMr256 && jw == kNr256) {
-          kern_avx2_full(arows, kpad, pbp, kpairs, crows, n);
+          kern_avx2_full(arows, kpad, pbp, kpairs, crows, n, cs);
         } else {
-          kern_avx2_edge(arows, kpad, pbp, kpairs, crows, n, mr, jw);
+          kern_avx2_edge(arows, kpad, pbp, kpairs, crows, n, mr, jw, cs);
         }
       }
     }
@@ -252,9 +294,18 @@ __attribute__((target("avx2"))) void avx2_rows(const std::int8_t* a, const std::
 // AVX-512 tier: 8x32 tile, same scheme at double width.
 // ---------------------------------------------------------------------------
 
+// GCC routes the unmasked forms of several AVX-512 intrinsics (here the
+// vpmovsxdq widening in the fused store phase) through their masked builtins
+// with _mm512_undefined_epi32() as the don't-care passthrough, which
+// -Wmaybe-uninitialized flags (GCC PR105593). Not a real read.
+#if defined(__GNUC__) && !defined(__clang__)
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wmaybe-uninitialized"
+#endif
+
 __attribute__((target("avx512f,avx512bw"))) void kern_avx512_full(
     const std::int16_t* a16, std::size_t lda, const std::int16_t* pb, std::size_t kpairs,
-    std::int32_t* c, std::size_t ldc) {
+    std::int32_t* c, std::size_t ldc, std::int64_t* csum) {
   __m512i acc[kMr512][2];
   for (std::size_t r = 0; r < kMr512; ++r) {
     acc[r][0] = _mm512_setzero_si512();
@@ -274,11 +325,26 @@ __attribute__((target("avx512f,avx512bw"))) void kern_avx512_full(
     _mm512_storeu_si512(c + r * ldc, acc[r][0]);
     _mm512_storeu_si512(c + r * ldc + 16, acc[r][1]);
   }
+  if (csum) {
+    // Fused eᵀC from the register tile; widen to int64 before the row fold
+    // (eight int32 values of magnitude 2^30 overflow an int32 sum).
+    for (std::size_t h = 0; h < 2; ++h) {
+      __m512i lo = _mm512_setzero_si512(), hi = _mm512_setzero_si512();
+      for (std::size_t r = 0; r < kMr512; ++r) {
+        lo = _mm512_add_epi64(lo, _mm512_cvtepi32_epi64(_mm512_castsi512_si256(acc[r][h])));
+        hi = _mm512_add_epi64(hi,
+                              _mm512_cvtepi32_epi64(_mm512_extracti64x4_epi64(acc[r][h], 1)));
+      }
+      std::int64_t* cs = csum + h * 16;
+      _mm512_storeu_si512(cs, _mm512_add_epi64(_mm512_loadu_si512(cs), lo));
+      _mm512_storeu_si512(cs + 8, _mm512_add_epi64(_mm512_loadu_si512(cs + 8), hi));
+    }
+  }
 }
 
 __attribute__((target("avx512f,avx512bw"))) void kern_avx512_edge(
     const std::int16_t* a16, std::size_t lda, const std::int16_t* pb, std::size_t kpairs,
-    std::int32_t* c, std::size_t ldc, std::size_t mr, std::size_t jw) {
+    std::int32_t* c, std::size_t ldc, std::size_t mr, std::size_t jw, std::int64_t* csum) {
   __m512i acc[kMr512][2];
   for (std::size_t r = 0; r < mr; ++r) {
     acc[r][0] = _mm512_setzero_si512();
@@ -298,6 +364,9 @@ __attribute__((target("avx512f,avx512bw"))) void kern_avx512_edge(
     _mm512_store_si512(tmp, acc[r][0]);
     _mm512_store_si512(tmp + 16, acc[r][1]);
     std::memcpy(c + r * ldc, tmp, jw * sizeof(std::int32_t));
+    if (csum) {
+      for (std::size_t j = 0; j < jw; ++j) csum[j] += tmp[j];
+    }
   }
 }
 
@@ -305,7 +374,8 @@ __attribute__((target("avx512f,avx512bw"))) void avx512_rows(const std::int8_t* 
                                                              const std::int16_t* pb,
                                                              std::int32_t* c, std::size_t k,
                                                              std::size_t n, std::size_t i0,
-                                                             std::size_t i1) {
+                                                             std::size_t i1,
+                                                             std::int64_t* csum) {
   const std::size_t kpairs = (k + 1) / 2;
   const std::size_t kpad = 2 * kpairs;
   const std::size_t panels = (n + kNr512 - 1) / kNr512;
@@ -321,15 +391,20 @@ __attribute__((target("avx512f,avx512bw"))) void avx512_rows(const std::int8_t* 
         const std::size_t mr = std::min(kMr512, ie - i);
         const std::int16_t* arows = a16.data() + (i - ib) * kpad;
         std::int32_t* crows = c + i * n + j0;
+        std::int64_t* cs = csum ? csum + j0 : nullptr;
         if (mr == kMr512 && jw == kNr512) {
-          kern_avx512_full(arows, kpad, pbp, kpairs, crows, n);
+          kern_avx512_full(arows, kpad, pbp, kpairs, crows, n, cs);
         } else {
-          kern_avx512_edge(arows, kpad, pbp, kpairs, crows, n, mr, jw);
+          kern_avx512_edge(arows, kpad, pbp, kpairs, crows, n, mr, jw, cs);
         }
       }
     }
   }
 }
+
+#if defined(__GNUC__) && !defined(__clang__)
+#pragma GCC diagnostic pop
+#endif
 
 #endif  // REALM_X86
 
@@ -373,15 +448,35 @@ std::atomic<Tier>& tier_slot() {
   return slot;
 }
 
+/// Row-shard `rows(i0, i1, shard_csum)` across the global pool. With a fused
+/// `csum` requested, each shard reduces into a private partial merged under a
+/// lock — int64 addition is associative and commutative, so the merged sums
+/// are bit-identical at every thread count and merge order.
+template <typename Rows>
+void shard_rows_fused(std::size_t m, std::size_t n, std::int64_t* csum, const Rows& rows) {
+  if (!csum) {
+    util::global_pool().parallel_for(
+        m, kRowGrain, [&](std::size_t i0, std::size_t i1) { rows(i0, i1, nullptr); });
+    return;
+  }
+  std::mutex mu;
+  util::global_pool().parallel_for(m, kRowGrain, [&](std::size_t i0, std::size_t i1) {
+    std::vector<std::int64_t> local(n, 0);
+    rows(i0, i1, local.data());
+    const std::lock_guard<std::mutex> lock(mu);
+    for (std::size_t j = 0; j < n; ++j) csum[j] += local[j];
+  });
+}
+
 #if REALM_X86
 /// Row-shard the macro-loop over already-packed panels.
 void run_simd_rows(Tier t, const std::int8_t* a, const std::int16_t* pb, std::int32_t* c,
-                   std::size_t m, std::size_t k, std::size_t n) {
-  util::global_pool().parallel_for(m, kRowGrain, [&](std::size_t i0, std::size_t i1) {
+                   std::size_t m, std::size_t k, std::size_t n, std::int64_t* csum) {
+  shard_rows_fused(m, n, csum, [&](std::size_t i0, std::size_t i1, std::int64_t* cs) {
     if (t == Tier::kAvx512) {
-      avx512_rows(a, pb, c, k, n, i0, i1);
+      avx512_rows(a, pb, c, k, n, i0, i1, cs);
     } else {
-      avx2_rows(a, pb, c, k, n, i0, i1);
+      avx2_rows(a, pb, c, k, n, i0, i1, cs);
     }
   });
 }
@@ -390,7 +485,8 @@ void run_simd_rows(Tier t, const std::int8_t* a, const std::int16_t* pb, std::in
 /// Shared SIMD driver for both storage orders of B: pack B once (serial,
 /// O(k*n)), then row-shard the macro-loop across the global pool.
 void gemm_simd(Tier t, const std::int8_t* a, const std::int8_t* b, std::int32_t* c,
-               std::size_t m, std::size_t k, std::size_t n, bool b_transposed) {
+               std::size_t m, std::size_t k, std::size_t n, bool b_transposed,
+               std::int64_t* csum) {
 #if REALM_X86
   const std::size_t nr = nr_for(t);
   const std::size_t kpairs = (k + 1) / 2;
@@ -401,13 +497,13 @@ void gemm_simd(Tier t, const std::int8_t* a, const std::int8_t* b, std::int32_t*
   } else {
     pack_b_panels(b, k, n, nr, pb.data());
   }
-  run_simd_rows(t, a, pb.data(), c, m, k, n);
+  run_simd_rows(t, a, pb.data(), c, m, k, n, csum);
 #else
   (void)t;
   if (b_transposed) {
-    portable_bt_rows(a, b, c, k, n, 0, m);
+    portable_bt_rows(a, b, c, k, n, 0, m, csum);
   } else {
-    portable_rows(a, b, c, k, n, 0, m);
+    portable_rows(a, b, c, k, n, 0, m, csum);
   }
 #endif
 }
@@ -439,7 +535,8 @@ void set_active_tier(Tier t) {
 }
 
 void gemm_i8(const std::int8_t* a, const std::int8_t* b, std::int32_t* c, std::size_t m,
-             std::size_t k, std::size_t n) {
+             std::size_t k, std::size_t n, std::int64_t* col_sums) {
+  if (col_sums) std::fill_n(col_sums, n, std::int64_t{0});
   if (m == 0 || n == 0) return;
   if (k == 0) {
     std::memset(c, 0, m * n * sizeof(std::int32_t));
@@ -447,12 +544,12 @@ void gemm_i8(const std::int8_t* a, const std::int8_t* b, std::int32_t* c, std::s
   }
   const Tier t = active_tier();
   if (t == Tier::kPortable) {
-    util::global_pool().parallel_for(m, kRowGrain, [&](std::size_t i0, std::size_t i1) {
-      portable_rows(a, b, c, k, n, i0, i1);
+    shard_rows_fused(m, n, col_sums, [&](std::size_t i0, std::size_t i1, std::int64_t* cs) {
+      portable_rows(a, b, c, k, n, i0, i1, cs);
     });
     return;
   }
-  gemm_simd(t, a, b, c, m, k, n, /*b_transposed=*/false);
+  gemm_simd(t, a, b, c, m, k, n, /*b_transposed=*/false, col_sums);
 }
 
 PackedB pack_b(const std::int8_t* b, std::size_t k, std::size_t n) {
@@ -475,22 +572,28 @@ PackedB pack_b(const std::int8_t* b, std::size_t k, std::size_t n) {
 }
 
 void gemm_i8_prepacked(const std::int8_t* a, const std::int8_t* b, const PackedB& pb,
-                       std::int32_t* c, std::size_t m, std::size_t k, std::size_t n) {
-  if (m == 0 || n == 0) return;
+                       std::int32_t* c, std::size_t m, std::size_t k, std::size_t n,
+                       std::int64_t* col_sums) {
+  if (m == 0 || n == 0) {
+    if (col_sums) std::fill_n(col_sums, n, std::int64_t{0});
+    return;
+  }
 #if REALM_X86
   const Tier t = active_tier();
   if (k > 0 && t != Tier::kPortable && pb.valid_for(t, k, n)) {
-    run_simd_rows(t, a, pb.panels_.data(), c, m, k, n);
+    if (col_sums) std::fill_n(col_sums, n, std::int64_t{0});
+    run_simd_rows(t, a, pb.panels_.data(), c, m, k, n, col_sums);
     return;
   }
 #else
   (void)pb;
 #endif
-  gemm_i8(a, b, c, m, k, n);
+  gemm_i8(a, b, c, m, k, n, col_sums);
 }
 
 void gemm_i8_bt(const std::int8_t* a, const std::int8_t* bt, std::int32_t* c, std::size_t m,
-                std::size_t k, std::size_t n) {
+                std::size_t k, std::size_t n, std::int64_t* col_sums) {
+  if (col_sums) std::fill_n(col_sums, n, std::int64_t{0});
   if (m == 0 || n == 0) return;
   if (k == 0) {
     std::memset(c, 0, m * n * sizeof(std::int32_t));
@@ -498,12 +601,12 @@ void gemm_i8_bt(const std::int8_t* a, const std::int8_t* bt, std::int32_t* c, st
   }
   const Tier t = active_tier();
   if (t == Tier::kPortable) {
-    util::global_pool().parallel_for(m, kRowGrain, [&](std::size_t i0, std::size_t i1) {
-      portable_bt_rows(a, bt, c, k, n, i0, i1);
+    shard_rows_fused(m, n, col_sums, [&](std::size_t i0, std::size_t i1, std::int64_t* cs) {
+      portable_bt_rows(a, bt, c, k, n, i0, i1, cs);
     });
     return;
   }
-  gemm_simd(t, a, bt, c, m, k, n, /*b_transposed=*/true);
+  gemm_simd(t, a, bt, c, m, k, n, /*b_transposed=*/true, col_sums);
 }
 
 }  // namespace realm::tensor::kernels

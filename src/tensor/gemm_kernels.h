@@ -24,6 +24,15 @@
 // C is FULLY OVERWRITTEN and never read — callers need not (and should not)
 // zero it first. This is the contract both tensor::gemm_i8 and
 // tensor::gemm_i8_bt expose.
+//
+// Fused eᵀC reduction: every entry point takes an optional `col_sums` buffer
+// (length n). When non-null it is fully overwritten with the per-column int64
+// sums of the C this call writes, accumulated in the microkernel store phase
+// from the register tiles — the checksum screen's observed/predicted column
+// reduction without a second pass over C. Row shards accumulate into private
+// partials merged under a lock; int64 addition is associative and
+// commutative, so the fused sums are bit-identical to col_sums(C) at every
+// tier, thread count, and merge order.
 #pragma once
 
 #include <cstddef>
@@ -55,9 +64,10 @@ void set_active_tier(Tier t);
 
 /// c[m x n] = a[m x k] * b[k x n], all row-major, int8 inputs, int32
 /// accumulation. c is fully overwritten. Dimension/overflow validation is the
-/// caller's job (tensor::gemm_i8 enforces kMaxK).
+/// caller's job (tensor::gemm_i8 enforces kMaxK). Non-null `col_sums`
+/// (length n) receives the fused eᵀC reduction (see file comment).
 void gemm_i8(const std::int8_t* a, const std::int8_t* b, std::int32_t* c, std::size_t m,
-             std::size_t k, std::size_t n);
+             std::size_t k, std::size_t n, std::int64_t* col_sums = nullptr);
 
 /// Pre-packed SIMD panels of a stationary B operand (the accelerator's
 /// weight-resident model: pay the O(k*n) pack once per weight tile, not once
@@ -75,7 +85,8 @@ class PackedB {
  private:
   friend PackedB pack_b(const std::int8_t* b, std::size_t k, std::size_t n);
   friend void gemm_i8_prepacked(const std::int8_t* a, const std::int8_t* b, const PackedB& pb,
-                                std::int32_t* c, std::size_t m, std::size_t k, std::size_t n);
+                                std::int32_t* c, std::size_t m, std::size_t k, std::size_t n,
+                                std::int64_t* col_sums);
 
   Tier tier_ = Tier::kPortable;
   std::size_t k_ = 0;
@@ -90,10 +101,11 @@ class PackedB {
 /// and shape; otherwise identical to gemm_i8(a, b, c, ...). Bit-exact with
 /// the non-prepacked path in every case.
 void gemm_i8_prepacked(const std::int8_t* a, const std::int8_t* b, const PackedB& pb,
-                       std::int32_t* c, std::size_t m, std::size_t k, std::size_t n);
+                       std::int32_t* c, std::size_t m, std::size_t k, std::size_t n,
+                       std::int64_t* col_sums = nullptr);
 
 /// c[m x n] = a[m x k] * bt^T where bt is stored [n x k] row-major.
 void gemm_i8_bt(const std::int8_t* a, const std::int8_t* bt, std::int32_t* c, std::size_t m,
-                std::size_t k, std::size_t n);
+                std::size_t k, std::size_t n, std::int64_t* col_sums = nullptr);
 
 }  // namespace realm::tensor::kernels

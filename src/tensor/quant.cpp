@@ -27,12 +27,17 @@ MatF dequantize(const MatI8& q, QuantParams qp) {
 }
 
 MatF dequantize_acc(const MatI32& acc, QuantParams a, QuantParams b) {
-  MatF out(acc.rows(), acc.cols());
+  MatF out;
+  dequantize_acc(acc, a, b, out);
+  return out;
+}
+
+void dequantize_acc(const MatI32& acc, QuantParams a, QuantParams b, MatF& out) {
+  if (out.rows() != acc.rows() || out.cols() != acc.cols()) out = MatF(acc.rows(), acc.cols());
   const float s = a.scale * b.scale;
   const auto src = acc.flat();
   const auto dst = out.flat();
   for (std::size_t i = 0; i < src.size(); ++i) dst[i] = static_cast<float>(src[i]) * s;
-  return out;
 }
 
 MatI8 requantize_acc(const MatI32& acc, QuantParams a, QuantParams b, QuantParams out_qp) {

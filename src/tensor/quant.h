@@ -44,6 +44,11 @@ struct QuantParams {
 /// Dequantize an INT32 accumulator matrix: real = acc * (scale_a * scale_b).
 [[nodiscard]] MatF dequantize_acc(const MatI32& acc, QuantParams a, QuantParams b);
 
+/// Into-variant for steady-state serving: `out` is resized if mis-shaped and
+/// fully overwritten, so a recycled buffer pays no allocation or page-fault
+/// cost per call.
+void dequantize_acc(const MatI32& acc, QuantParams a, QuantParams b, MatF& out);
+
 /// Dequantize an INT8 matrix.
 [[nodiscard]] MatF dequantize(const MatI8& q, QuantParams qp);
 
