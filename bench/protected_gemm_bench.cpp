@@ -20,11 +20,14 @@
 
 #include "detect/detect.h"
 #include "fault/fault.h"
+#include "serve/engine.h"
+#include "serve/tile_grid.h"
 #include "tensor/gemm.h"
 #include "tensor/gemm_kernels.h"
 #include "tensor/quant.h"
 #include "tensor/tensor.h"
 #include "util/rng.h"
+#include "util/stats.h"
 #include "util/table.h"
 #include "util/threadpool.h"
 
@@ -59,17 +62,21 @@ struct ShapeResult {
 
 int usage() {
   std::cerr << "usage: protected_gemm_bench [--csv] [--threads N] [--repeat N] [--json FILE]"
-               " [--smoke]\n"
+               " [--smoke] [--serve]\n"
             << "  --csv        emit CSV instead of a box-drawn table\n"
-            << "  --threads N  total GEMM threads (default 1; sets the global pool)\n"
+            << "  --threads N  total GEMM threads (default 1; sets the global pool).\n"
+            << "               With --serve: request-level engine workers instead\n"
             << "  --repeat N   repetitions per measurement, run as interleaved\n"
             << "               raw/protected pairs (default: auto, sized so each cell\n"
-            << "               measures >= ~50ms of work)\n"
+            << "               measures >= ~50ms of work). With --serve: batches\n"
             << "  --json FILE  also write a machine-readable record (for CI archival\n"
             << "               and the baseline regression gate)\n"
             << "  --smoke      tiny shape set (128^3 plus a ragged edge shape); paired\n"
             << "               with --repeat 1 it drives every SIMD reduction and fused\n"
-            << "               path once under the sanitizer CI leg\n";
+            << "               path once under the sanitizer CI leg\n"
+            << "  --serve      batched serving mode: drive a TileGrid through the\n"
+            << "               ServeEngine and report requests/s, p50/p99 latency, and\n"
+            << "               per-request screen overhead (raw vs protected tiles)\n";
   return 2;
 }
 
@@ -103,11 +110,158 @@ void write_json(const std::string& path, const std::vector<ShapeResult>& results
   os << "  ]\n}\n";
 }
 
+/// Batched serving mode: one TileGrid shared by every request, the engine's
+/// bounded queue feeding `threads` workers. Reports throughput (requests/s),
+/// tail latency from the engine's stats, and the per-request screen overhead
+/// measured exactly like the GEMM bench's detect_ms: interleaved raw/protected
+/// pairs over the SAME tiles and resident panels, median of the differences.
+int serve_main(bool csv, bool smoke, long threads, int repeat, const std::string& json_path) {
+  namespace rt = realm::tensor;
+  realm::util::Rng rng(0x5e7e);
+  // Request-level parallelism only: each worker's GEMMs run inline (thread
+  // pool nesting rule), so the global GEMM pool is pinned to 1 to keep the
+  // single-threaded overhead measurement and the serve path consistent.
+  realm::util::set_global_threads(1);
+
+  const std::size_t m = smoke ? 16 : 64;  // decode-like request height
+  const std::size_t k = smoke ? 128 : 1024;
+  const std::size_t n = smoke ? 256 : 2048;
+  realm::serve::TileGridConfig gcfg;
+  gcfg.tile_cols = smoke ? 64 : 256;
+  const realm::serve::TileGrid grid(random_i8(k, n, rng), rt::QuantParams{0.02f}, gcfg);
+  const rt::QuantParams qa{0.05f};
+
+  const std::size_t nreq = smoke ? 8 : 64;
+  std::vector<rt::MatI8> acts;
+  acts.reserve(nreq);
+  for (std::size_t i = 0; i < nreq; ++i) acts.push_back(random_i8(m, k, rng));
+  const realm::fault::MagFreqInjector mag(1 << 20, 3);
+  std::vector<realm::serve::Request> reqs(nreq);
+  for (std::size_t i = 0; i < nreq; ++i) {
+    reqs[i].a8 = &acts[i];
+    reqs[i].qa = qa;
+    // Mostly-clean traffic with a detectable fault every 8th request, so the
+    // measured throughput includes realistic recompute-correct work.
+    reqs[i].injector = (i % 8 == 7) ? &mag : nullptr;
+  }
+
+  // Per-request screen overhead: raw tiles (prepacked GEMM only) vs clean
+  // protected tiles, interleaved at pair granularity, median difference —
+  // same drift-cancelling protocol as the per-shape bench.
+  std::vector<rt::MatI32> raw_scratch;
+  std::vector<realm::detect::ProtectedGemmResult> prot_scratch;
+  rt::MatF out;
+  realm::serve::BatchVerdict bv;
+  const realm::fault::NullInjector none;
+  grid.run_raw_into(acts[0], raw_scratch);  // warm buffers + panels
+  grid.run_into(acts[0], qa, none, rng, prot_scratch, out, bv);
+  const int pairs = repeat > 0 ? repeat * 8 : (smoke ? 4 : 32);
+  std::vector<double> raw_t(pairs), detect_d(pairs);
+  for (int p = 0; p < pairs; ++p) {
+    const auto& a8 = acts[static_cast<std::size_t>(p) % nreq];
+    auto t0 = Clock::now();
+    grid.run_raw_into(a8, raw_scratch);
+    raw_t[p] = seconds_since(t0);
+    t0 = Clock::now();
+    grid.run_into(a8, qa, none, rng, prot_scratch, out, bv);
+    detect_d[p] = seconds_since(t0) - raw_t[p];
+  }
+  const auto median = [](std::vector<double>& v) {
+    std::nth_element(v.begin(), v.begin() + v.size() / 2, v.end());
+    return v[v.size() / 2];
+  };
+  const double raw_s = median(raw_t);
+  const double detect_s = std::max(median(detect_d), 0.0);
+  const double overhead_pct = detect_s / raw_s * 100.0;
+
+  // Throughput: serve `batches` full batches through the bounded queue.
+  realm::serve::ServeConfig scfg;
+  scfg.workers = static_cast<std::size_t>(threads);
+  scfg.queue_capacity = 16;
+  scfg.seed = 0xba7c4;  // fixed; forked per request inside the engine
+  realm::serve::ServeEngine engine(grid, scfg);
+  std::vector<realm::serve::Response> responses;
+  engine.serve(reqs, responses);  // warm per-worker buffers
+  engine.reset_stats();
+  const int batches = repeat > 0 ? repeat : (smoke ? 1 : 5);
+  // ServeStats keeps only the latest batch's percentiles; aggregate every
+  // batch's latencies here so the archived p50/p99 covers the whole run.
+  std::vector<double> all_lat;
+  all_lat.reserve(static_cast<std::size_t>(batches) * nreq);
+  const auto t0 = Clock::now();
+  for (int b = 0; b < batches; ++b) {
+    engine.serve(reqs, responses);
+    for (const auto& r : responses) all_lat.push_back(r.latency_ms);
+  }
+  const double wall_s = seconds_since(t0);
+  const realm::serve::ServeStats& st = engine.stats();
+  const double rps = static_cast<double>(st.requests) / wall_s;
+  const double p50 = realm::util::quantile(all_lat, 0.50);
+  const double p99 = realm::util::quantile(all_lat, 0.99);
+
+  realm::util::TablePrinter table(
+      std::string("protected_gemm_bench --serve (TileGrid through ServeEngine, tier=") +
+      realm::tensor::kernels::to_string(realm::tensor::kernels::active_tier()) + ")");
+  table.header({"workers", "tiles", "m", "k", "n", "req/s", "p50_ms", "p99_ms", "raw_ms",
+                "detect_ms", "overhead", "corrected"});
+  table.row({std::to_string(scfg.workers), std::to_string(grid.tile_count()), std::to_string(m),
+             std::to_string(k), std::to_string(n), realm::util::TablePrinter::num(rps),
+             realm::util::TablePrinter::num(p50), realm::util::TablePrinter::num(p99),
+             realm::util::TablePrinter::num(raw_s * 1e3),
+             realm::util::TablePrinter::num(detect_s * 1e3),
+             realm::util::TablePrinter::pct(overhead_pct / 100.0),
+             std::to_string(st.tiles_corrected)});
+  if (csv) {
+    table.print_csv(std::cout);
+  } else {
+    table.print(std::cout);
+  }
+
+  if (!json_path.empty()) {
+    std::ofstream os(json_path);
+    if (!os) {
+      std::cerr << "protected_gemm_bench: cannot write " << json_path << "\n";
+      return 1;
+    }
+    char buf[768];
+    std::snprintf(buf, sizeof(buf),
+                  "{\n"
+                  "  \"schema_version\": 1,\n"
+                  "  \"mode\": \"serve\",\n"
+                  "  \"kernel_tier\": \"%s\",\n"
+                  "  \"workers\": %zu,\n"
+                  "  \"tile_cols\": %zu,\n"
+                  "  \"tiles\": %zu,\n"
+                  "  \"m\": %zu, \"k\": %zu, \"n\": %zu,\n"
+                  "  \"requests_per_batch\": %zu,\n"
+                  "  \"batches\": %d,\n"
+                  "  \"rps\": %.2f,\n"
+                  "  \"p50_ms\": %.4f,\n"
+                  "  \"p99_ms\": %.4f,\n"
+                  "  \"raw_ms\": %.4f,\n"
+                  "  \"detect_ms\": %.4f,\n"
+                  "  \"overhead_pct\": %.2f,\n"
+                  "  \"tiles_screened\": %llu,\n"
+                  "  \"tiles_detected\": %llu,\n"
+                  "  \"tiles_corrected\": %llu\n"
+                  "}\n",
+                  realm::tensor::kernels::to_string(realm::tensor::kernels::active_tier()),
+                  scfg.workers, gcfg.tile_cols, grid.tile_count(), m, k, n, nreq, batches, rps,
+                  p50, p99, raw_s * 1e3, detect_s * 1e3, overhead_pct,
+                  static_cast<unsigned long long>(st.tiles_screened),
+                  static_cast<unsigned long long>(st.tiles_detected),
+                  static_cast<unsigned long long>(st.tiles_corrected));
+    os << buf;
+  }
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   bool csv = false;
   bool smoke = false;
+  bool serve = false;
   long threads = 1;
   int repeat = 0;  // 0 = auto
   std::string json_path;
@@ -117,6 +271,8 @@ int main(int argc, char** argv) {
       csv = true;
     } else if (arg == "--smoke") {
       smoke = true;
+    } else if (arg == "--serve") {
+      serve = true;
     } else if (arg == "--threads" && i + 1 < argc) {
       threads = std::strtol(argv[++i], nullptr, 10);
       if (threads < 1) return usage();
@@ -129,6 +285,7 @@ int main(int argc, char** argv) {
       return usage();
     }
   }
+  if (serve) return serve_main(csv, smoke, threads, repeat, json_path);
   realm::util::set_global_threads(static_cast<std::size_t>(threads));
   realm::util::Rng rng(0xbe7c);
 

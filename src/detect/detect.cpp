@@ -169,13 +169,30 @@ void ProtectedGemm::run_quantized_into(const tensor::MatI8& a8, tensor::QuantPar
 }
 
 std::uint64_t calibrate_msd_threshold(const ProtectedGemm& pg, std::size_t m,
-                                      std::size_t golden_runs, util::Rng& rng) {
+                                      std::size_t golden_runs, util::Rng& rng,
+                                      ActivationSpec spec) {
+  switch (spec.dist) {
+    case ActivationSpec::Dist::kNormal:
+      if (!(spec.p1 > 0.0)) {
+        throw std::invalid_argument("calibrate_msd_threshold: normal stddev must be > 0");
+      }
+      break;
+    case ActivationSpec::Dist::kUniform:
+      if (!(spec.p1 > spec.p0)) {
+        throw std::invalid_argument("calibrate_msd_threshold: uniform needs hi > lo");
+      }
+      break;
+  }
   const std::size_t k = pg.weights().rows();
   std::uint64_t worst = 0;
   const fault::NullInjector none;
   for (std::size_t run = 0; run < golden_runs; ++run) {
     tensor::MatF a(m, k);
-    for (auto& x : a.flat()) x = static_cast<float>(rng.normal());
+    for (auto& x : a.flat()) {
+      x = static_cast<float>(spec.dist == ActivationSpec::Dist::kNormal
+                                 ? rng.normal(spec.p0, spec.p1)
+                                 : rng.uniform(spec.p0, spec.p1));
+    }
     const ProtectedGemmResult r = pg.run(a, none, rng);
     worst = std::max(worst, r.report.msd_abs);
   }

@@ -91,6 +91,14 @@ struct ProtectedGemmResult {
   DetectionVerdict report;
 };
 
+// Thread-safety contract (load-bearing for realm::serve): after set_weights*
+// returns, a ProtectedGemm is immutable — every run* overload and
+// verify_weight_integrity() only read members, so any number of threads may
+// call them concurrently on the same const instance. Each caller must supply
+// its own Rng and (for run_quantized_into) its own result buffer; the GEMM
+// inside routes through util::global_pool(), whose nesting rule makes it run
+// inline on pool workers and serialize top-level callers (see threadpool.h).
+// Calling set_weights* concurrently with any run* is a data race.
 class ProtectedGemm {
  public:
   explicit ProtectedGemm(DetectionConfig cfg = {});
@@ -135,6 +143,14 @@ class ProtectedGemm {
     return w_col_basis_;
   }
 
+  /// The resident SIMD weight panels (packed once at set_weights). Immutable
+  /// after packing — safe to read from any number of concurrent GEMMs; the
+  /// serving layer's unprotected baseline reuses them so raw-vs-protected
+  /// comparisons share identical weight state.
+  [[nodiscard]] const tensor::kernels::PackedB& weight_panels() const noexcept {
+    return w_packed_;
+  }
+
   /// Scrub the stationary weight tile against its resident bases: recompute
   /// eᵀW and W·e from w8_ and compare with the values captured at
   /// set_weights. False means the weight memory (not a GEMM) was corrupted —
@@ -151,12 +167,37 @@ class ProtectedGemm {
   tensor::kernels::PackedB w_packed_;      ///< SIMD panels, resident likewise
 };
 
-/// Run `golden_runs` fault-free GEMMs over random activations and return the
-/// largest |MSD| observed (always 0 for exact integer checksums — the call
-/// exists so threshold calibration is an explicit, testable step rather than
-/// an assumption baked into DetectionConfig).
-[[nodiscard]] std::uint64_t calibrate_msd_threshold(const ProtectedGemm& pg,
-                                                    std::size_t m, std::size_t golden_runs,
-                                                    util::Rng& rng);
+/// Distribution of the synthetic activations calibrate_msd_threshold draws.
+/// Calibration must see value ranges like production traffic: the activation
+/// scale (and therefore which accumulator bits real deviations can reach)
+/// depends on it, so callers describe their regime instead of inheriting a
+/// hardcoded standard normal.
+struct ActivationSpec {
+  enum class Dist : std::uint8_t {
+    kNormal,   ///< normal(p0 = mean, p1 = stddev); stddev must be > 0
+    kUniform,  ///< uniform [p0 = lo, p1 = hi); requires hi > lo
+  };
+  Dist dist = Dist::kNormal;
+  double p0 = 0.0;
+  double p1 = 1.0;
+
+  /// SmoothQuant-style activations: roughly normal with rare outlier scale.
+  [[nodiscard]] static ActivationSpec normal(double mean, double stddev) {
+    return {Dist::kNormal, mean, stddev};
+  }
+  [[nodiscard]] static ActivationSpec uniform(double lo, double hi) {
+    return {Dist::kUniform, lo, hi};
+  }
+};
+
+/// Run `golden_runs` fault-free GEMMs over random activations drawn from
+/// `spec` and return the largest |MSD| observed (always 0 for exact integer
+/// checksums — the call exists so threshold calibration is an explicit,
+/// testable step rather than an assumption baked into DetectionConfig, and so
+/// reduced-width datapath models can calibrate against a realistic activation
+/// range). Throws std::invalid_argument on a degenerate spec.
+[[nodiscard]] std::uint64_t calibrate_msd_threshold(const ProtectedGemm& pg, std::size_t m,
+                                                    std::size_t golden_runs, util::Rng& rng,
+                                                    ActivationSpec spec = {});
 
 }  // namespace realm::detect

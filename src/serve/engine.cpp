@@ -1,0 +1,112 @@
+#include "serve/engine.h"
+
+#include <algorithm>
+#include <chrono>
+#include <stdexcept>
+#include <thread>
+
+#include "util/mpmc_queue.h"
+
+namespace realm::serve {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double ms_since(Clock::time_point t0) {
+  return std::chrono::duration<double, std::milli>(Clock::now() - t0).count();
+}
+
+}  // namespace
+
+ServeEngine::ServeEngine(const TileGrid& grid, ServeConfig cfg)
+    : grid_(grid),
+      cfg_(cfg),
+      pool_(cfg.workers < 1 ? 1 : cfg.workers),
+      workers_(cfg.workers < 1 ? 1 : cfg.workers) {
+  if (cfg_.queue_capacity == 0) {
+    throw std::invalid_argument("ServeEngine: queue_capacity must be >= 1");
+  }
+}
+
+void ServeEngine::process(Worker& w, const Request& rq, std::size_t index, Response& rsp) {
+  static const fault::NullInjector kGolden;
+  const fault::FaultInjector& inj = rq.injector ? *rq.injector : kGolden;
+  const auto t0 = Clock::now();
+  // Deterministic fault stream: request index (not worker id, not pop order)
+  // selects the stream; the grid forks it again per tile.
+  const util::Rng rng = util::Rng(cfg_.seed).fork(index);
+  grid_.run_into(*rq.a8, rq.qa, inj, rng, w.scratch, rsp.output, rsp.verdict);
+  rsp.latency_ms = ms_since(t0);
+}
+
+void ServeEngine::serve(std::span<const Request> requests, std::vector<Response>& responses) {
+  // Validate before any thread spawns so malformed batches fail on the
+  // calling thread, not inside the parallel region.
+  for (const Request& rq : requests) {
+    if (rq.a8 == nullptr) {
+      throw std::invalid_argument("ServeEngine: request with null activation");
+    }
+  }
+  responses.resize(requests.size());
+  if (requests.empty()) return;
+
+  const std::size_t nworkers = std::min(workers_.size(), requests.size());
+  if (nworkers <= 1) {
+    for (std::size_t i = 0; i < requests.size(); ++i) {
+      process(workers_[0], requests[i], i, responses[i]);
+    }
+  } else {
+    // The queue carries request indices; bounded capacity gives the producer
+    // backpressure exactly as a network front door would experience it. The
+    // producer is a plain thread so every pool worker (calling thread
+    // included) stays a consumer.
+    util::MpmcQueue<std::size_t> queue(cfg_.queue_capacity);
+    std::thread producer([&] {
+      for (std::size_t i = 0; i < requests.size(); ++i) {
+        if (!queue.push(i)) break;  // closed early — cannot happen today
+      }
+      queue.close();
+    });
+    try {
+      pool_.parallel_for(nworkers, 1, [&](std::size_t begin, std::size_t end) {
+        for (std::size_t w = begin; w < end; ++w) {
+          std::size_t i = 0;
+          while (queue.pop(i)) process(workers_[w], requests[i], i, responses[i]);
+        }
+      });
+    } catch (...) {
+      // A worker threw (parallel_for rethrows here after all chunks quiesce).
+      // The producer may still be parked in push(); closing the queue
+      // unblocks it, and it MUST be joined before the queue leaves scope —
+      // destroying a joinable thread is std::terminate.
+      queue.close();
+      producer.join();
+      throw;
+    }
+    producer.join();
+  }
+
+  // Aggregate AFTER the parallel region, from the (deterministic) responses:
+  // counters are a pure function of the batch, so no worker-side atomics.
+  std::vector<double> latencies(responses.size());
+  for (std::size_t i = 0; i < responses.size(); ++i) {
+    const Response& r = responses[i];
+    ++stats_.requests;
+    stats_.tiles_screened += r.verdict.tiles;
+    stats_.tiles_detected += r.verdict.tiles_detected;
+    stats_.tiles_corrected += r.verdict.tiles_corrected;
+    stats_.latency_ms.add(r.latency_ms);
+    latencies[i] = r.latency_ms;
+  }
+  stats_.p50_ms = util::quantile(latencies, 0.50);
+  stats_.p99_ms = util::quantile(latencies, 0.99);
+}
+
+std::vector<Response> ServeEngine::serve(std::span<const Request> requests) {
+  std::vector<Response> responses;
+  serve(requests, responses);
+  return responses;
+}
+
+}  // namespace realm::serve

@@ -1,0 +1,121 @@
+// Batched request-serving engine over a TileGrid — the layer that turns one
+// protected GEMM into a traffic-serving system.
+//
+// Dataflow per serve() call:
+//
+//   requests ──> bounded MpmcQueue ──> worker 0 ─┐
+//   (producer     (backpressure:      worker 1 ─┼─> per-request TileGrid
+//    thread)       capacity bound)      ...     │    run + BatchVerdict
+//                                    worker W-1 ─┘        │
+//                                                         v
+//                                      responses[i] (request order preserved)
+//
+// Workers are the existing util::ThreadPool primitive: serve() runs one
+// parallel_for over worker indices and each worker drains the queue until it
+// closes. Because pool workers set the thread-local nesting flag, the GEMMs
+// inside each request run INLINE on that worker (threadpool.h nesting rule) —
+// with 2+ effective workers, request-level parallelism and kernel-level
+// parallelism never fight over the same cores, and the per-tile screen stays
+// bit-exact. The single-worker path (workers == 1, or a batch of one) instead
+// runs requests on the calling thread, where kernel-level threading
+// (REALM_THREADS / set_global_threads) applies normally: workers == 1 is the
+// latency mode (one request at a time, GEMMs may fan out), workers >= 2 the
+// throughput mode (GEMMs pinned to their worker). Outputs and verdicts are
+// bit-identical either way; latency/throughput numbers are only comparable
+// across worker counts with the global pool pinned to 1, which is what the
+// bench's --serve mode does.
+//
+// Per-worker state (the tile-result scratch) is recycled across requests and
+// across serve() calls, so the steady-state hot path allocates nothing: every
+// accumulator, output, and checksum buffer is reused via run_quantized_into.
+//
+// Determinism: request i draws its fault stream from seed fork(i) and tile t
+// within it from fork(t) — verdicts and outputs are a pure function of
+// (seed, requests), independent of worker count or scheduling. Latency stats
+// are the only nondeterministic outputs.
+//
+// ServeEngine is externally synchronized: one serve() at a time (it owns its
+// pool and per-worker buffers). Concurrency lives INSIDE serve, not across
+// calls — the multi-session story is one engine per model replica.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "serve/tile_grid.h"
+#include "util/stats.h"
+#include "util/threadpool.h"
+
+namespace realm::serve {
+
+struct ServeConfig {
+  /// Request-level workers (including the calling thread). Clamped to >= 1.
+  std::size_t workers = 1;
+  /// Bound of the request queue; producers park when it fills.
+  std::size_t queue_capacity = 64;
+  /// Base seed for per-request fault streams (forked per request, per tile).
+  std::uint64_t seed = 0x5e44e;
+};
+
+/// One inference request. The engine does not copy the activation — the
+/// pointed-to matrix and injector must outlive the serve() call.
+struct Request {
+  const tensor::MatI8* a8 = nullptr;
+  tensor::QuantParams qa{};
+  /// Fault model for this request (nullptr = golden/NullInjector).
+  const fault::FaultInjector* injector = nullptr;
+};
+
+struct Response {
+  tensor::MatF output;    ///< assembled [m x n] dequantized result
+  BatchVerdict verdict;   ///< aggregated across tiles
+  double latency_ms = 0;  ///< queue-pop to response-complete, this worker
+};
+
+/// Cumulative counters plus the latest batch's latency distribution.
+struct ServeStats {
+  std::uint64_t requests = 0;
+  std::uint64_t tiles_screened = 0;
+  std::uint64_t tiles_detected = 0;   ///< flagged, not certified corrected
+  std::uint64_t tiles_corrected = 0;
+  util::RunningStat latency_ms;  ///< cumulative across serve() calls
+  double p50_ms = 0;             ///< most recent serve() batch
+  double p99_ms = 0;             ///< most recent serve() batch
+};
+
+class ServeEngine {
+ public:
+  /// The grid must outlive the engine.
+  explicit ServeEngine(const TileGrid& grid, ServeConfig cfg = {});
+
+  /// Serve a batch: responses[i] always answers requests[i] regardless of
+  /// which worker ran it. `responses` is resized and its buffers recycled —
+  /// reusing one vector across calls makes the hot path allocation-free.
+  void serve(std::span<const Request> requests, std::vector<Response>& responses);
+
+  /// Allocating convenience overload.
+  [[nodiscard]] std::vector<Response> serve(std::span<const Request> requests);
+
+  [[nodiscard]] const ServeStats& stats() const noexcept { return stats_; }
+  void reset_stats() noexcept { stats_ = {}; }
+
+  [[nodiscard]] const TileGrid& grid() const noexcept { return grid_; }
+  [[nodiscard]] std::size_t workers() const noexcept { return workers_.size(); }
+
+ private:
+  struct Worker {
+    std::vector<detect::ProtectedGemmResult> scratch;  ///< per-tile, recycled
+  };
+
+  void process(Worker& w, const Request& rq, std::size_t index, Response& rsp);
+
+  const TileGrid& grid_;
+  ServeConfig cfg_;
+  util::ThreadPool pool_;
+  std::vector<Worker> workers_;
+  ServeStats stats_;
+};
+
+}  // namespace realm::serve

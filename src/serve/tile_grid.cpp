@@ -1,0 +1,151 @@
+#include "serve/tile_grid.h"
+
+#include <algorithm>
+#include <cstring>
+#include <stdexcept>
+
+#include "tensor/gemm.h"
+
+namespace realm::serve {
+
+namespace {
+
+/// Severity order for the worst-wins merge: an uncorrected detection outranks
+/// a certified correction, which outranks clean.
+int severity(detect::Verdict v) noexcept {
+  switch (v) {
+    case detect::Verdict::kClean: return 0;
+    case detect::Verdict::kCorrected: return 1;
+    case detect::Verdict::kDetected: return 2;
+  }
+  return 0;
+}
+
+}  // namespace
+
+void BatchVerdict::reset() noexcept {
+  verdict = detect::Verdict::kClean;
+  tiles = tiles_clean = tiles_detected = tiles_corrected = 0;
+  msd_abs_max = 0;
+  max_dev_pow2 = 0;
+  fault_cols.clear();
+  fault_rows.clear();
+  injection = {};
+}
+
+void BatchVerdict::merge_tile(const detect::DetectionVerdict& v, std::size_t col_origin) {
+  ++tiles;
+  switch (v.verdict) {
+    case detect::Verdict::kClean: ++tiles_clean; break;
+    case detect::Verdict::kDetected: ++tiles_detected; break;
+    case detect::Verdict::kCorrected: ++tiles_corrected; break;
+  }
+  if (severity(v.verdict) > severity(verdict)) verdict = v.verdict;
+  msd_abs_max = std::max(msd_abs_max, v.msd_abs);
+  max_dev_pow2 = std::max(max_dev_pow2, v.max_dev_pow2);
+  for (const std::size_t c : v.fault_cols) fault_cols.push_back(col_origin + c);
+  fault_rows.insert(fault_rows.end(), v.fault_rows.begin(), v.fault_rows.end());
+  injection.flipped_bits += v.injection.flipped_bits;
+  injection.corrupted_values += v.injection.corrupted_values;
+}
+
+void BatchVerdict::finalize() {
+  std::sort(fault_rows.begin(), fault_rows.end());
+  fault_rows.erase(std::unique(fault_rows.begin(), fault_rows.end()), fault_rows.end());
+}
+
+TileGrid::TileGrid(const tensor::MatI8& w8, tensor::QuantParams qw, TileGridConfig cfg)
+    : cfg_(cfg) {
+  build(w8, qw);
+}
+
+TileGrid::TileGrid(const tensor::MatF& w, TileGridConfig cfg) : cfg_(cfg) {
+  // One scale for the whole matrix: per-tile calibration would give each
+  // shard a different scale and break bit-identity with an unsharded run.
+  const tensor::QuantParams qw = tensor::calibrate(w.flat());
+  build(tensor::quantize(w, qw), qw);
+}
+
+void TileGrid::build(const tensor::MatI8& w8, tensor::QuantParams qw) {
+  if (w8.empty()) throw std::invalid_argument("TileGrid: empty weights");
+  if (cfg_.tile_cols == 0) throw std::invalid_argument("TileGrid: tile_cols must be >= 1");
+  rows_ = w8.rows();
+  cols_ = w8.cols();
+  const std::size_t ntiles = (cols_ + cfg_.tile_cols - 1) / cfg_.tile_cols;
+  tiles_.reserve(ntiles);
+  origins_.reserve(ntiles);
+  for (std::size_t origin = 0; origin < cols_; origin += cfg_.tile_cols) {
+    const std::size_t width = std::min(cfg_.tile_cols, cols_ - origin);
+    tensor::MatI8 slice(rows_, width);
+    for (std::size_t r = 0; r < rows_; ++r) {
+      std::memcpy(slice.row(r).data(), w8.row(r).data() + origin, width);
+    }
+    tiles_.emplace_back(cfg_.detect);
+    tiles_.back().set_weights_quantized(std::move(slice), qw);
+    origins_.push_back(origin);
+  }
+}
+
+std::size_t TileGrid::tile_width(std::size_t t) const {
+  return tiles_.at(t).weights().cols();
+}
+
+void TileGrid::run_into(const tensor::MatI8& a8, tensor::QuantParams qa,
+                        const fault::FaultInjector& injector, const util::Rng& rng,
+                        std::vector<detect::ProtectedGemmResult>& scratch, tensor::MatF& out,
+                        BatchVerdict& verdict) const {
+  const fault::FaultInjector* const one = &injector;
+  run_tiles(a8, qa, &one, 0, rng, scratch, out, verdict);
+}
+
+void TileGrid::run_into(const tensor::MatI8& a8, tensor::QuantParams qa,
+                        std::span<const fault::FaultInjector* const> tile_injectors,
+                        const util::Rng& rng, std::vector<detect::ProtectedGemmResult>& scratch,
+                        tensor::MatF& out, BatchVerdict& verdict) const {
+  if (tile_injectors.size() != tiles_.size()) {
+    throw std::invalid_argument("TileGrid: need one injector per tile");
+  }
+  run_tiles(a8, qa, tile_injectors.data(), 1, rng, scratch, out, verdict);
+}
+
+void TileGrid::run_tiles(const tensor::MatI8& a8, tensor::QuantParams qa,
+                         const fault::FaultInjector* const* injectors, std::size_t stride,
+                         const util::Rng& rng, std::vector<detect::ProtectedGemmResult>& scratch,
+                         tensor::MatF& out, BatchVerdict& verdict) const {
+  const std::size_t m = a8.rows();
+  scratch.resize(tiles_.size());
+  if (out.rows() != m || out.cols() != cols_) out = tensor::MatF(m, cols_);
+  verdict.reset();
+  for (std::size_t t = 0; t < tiles_.size(); ++t) {
+    // Forked per tile so the fault stream depends only on (seed, tile), never
+    // on which worker ran the tile or in what order — the determinism the
+    // 1/2/8-thread tests pin down.
+    util::Rng tile_rng = rng.fork(t);
+    tiles_[t].run_quantized_into(a8, qa, *injectors[t * stride], tile_rng, scratch[t]);
+    verdict.merge_tile(scratch[t].report, origins_[t]);
+    const std::size_t width = scratch[t].output.cols();
+    for (std::size_t r = 0; r < m; ++r) {
+      std::memcpy(out.row(r).data() + origins_[t], scratch[t].output.row(r).data(),
+                  width * sizeof(float));
+    }
+  }
+  verdict.finalize();
+}
+
+void TileGrid::run_raw_into(const tensor::MatI8& a8,
+                            std::vector<tensor::MatI32>& scratch) const {
+  scratch.resize(tiles_.size());
+  for (std::size_t t = 0; t < tiles_.size(); ++t) {
+    const detect::ProtectedGemm& pg = tiles_[t];
+    tensor::gemm_i8_prepacked(a8, pg.weights(), pg.weight_panels(), scratch[t]);
+  }
+}
+
+bool TileGrid::verify_weight_integrity() const {
+  for (const auto& t : tiles_) {
+    if (!t.verify_weight_integrity()) return false;
+  }
+  return true;
+}
+
+}  // namespace realm::serve

@@ -74,6 +74,13 @@ void gemm_i8(const std::int8_t* a, const std::int8_t* b, std::int32_t* c, std::s
 /// per GEMM). Opaque; tied to the tier it was packed for — a tier or shape
 /// mismatch at use time simply falls back to packing fresh. Cheap to move,
 /// empty (and always a fallback) on the portable tier.
+///
+/// Immutability contract (load-bearing for realm::serve): pack_b is the only
+/// writer — once returned, a PackedB is never mutated by any gemm_i8_*
+/// call, so any number of concurrent GEMMs (every worker of a serving
+/// engine, plus recompute replays) may read the same panels with no
+/// synchronization. Destroying or reassigning it while a GEMM reads it is,
+/// of course, a race — ProtectedGemm keeps panels alive with the weights.
 class PackedB {
  public:
   PackedB() = default;

@@ -1,0 +1,101 @@
+// Bounded multi-producer / multi-consumer queue — the request-feed primitive
+// of the serving engine (realm::serve::ServeEngine).
+//
+// Semantics:
+//  * push() blocks while the queue is full and returns false (dropping the
+//    item) once the queue has been closed — producers cannot enqueue work the
+//    consumers will never see.
+//  * pop() blocks while the queue is empty and open; it drains remaining
+//    items after close() and only then returns false, so close() is a
+//    graceful "no more work" signal, never a discard.
+//  * close() is idempotent and wakes every blocked producer and consumer.
+//
+// The bound is the backpressure mechanism: a producer that outruns the
+// consumers parks on not_full_ instead of growing an unbounded backlog —
+// exactly the admission-control behavior a serving front door needs.
+//
+// Thread safety: every member may be called concurrently from any number of
+// threads. Items are moved in and out under a single mutex; per-item work in
+// the serving engine is a whole protected GEMM (micro- to milliseconds), so
+// lock contention is noise at any realistic consumer count.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <mutex>
+#include <stdexcept>
+#include <utility>
+
+namespace realm::util {
+
+template <typename T>
+class MpmcQueue {
+ public:
+  explicit MpmcQueue(std::size_t capacity) : capacity_(capacity) {
+    if (capacity == 0) throw std::invalid_argument("MpmcQueue: capacity must be >= 1");
+  }
+
+  MpmcQueue(const MpmcQueue&) = delete;
+  MpmcQueue& operator=(const MpmcQueue&) = delete;
+
+  /// Blocks while full; enqueues and returns true, or returns false (item
+  /// dropped) if the queue is or becomes closed while waiting.
+  bool push(T item) {
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      not_full_.wait(lock, [&] { return closed_ || items_.size() < capacity_; });
+      if (closed_) return false;
+      items_.push_back(std::move(item));
+    }
+    not_empty_.notify_one();
+    return true;
+  }
+
+  /// Blocks while empty and open. Returns true with an item, or false once
+  /// the queue is closed AND drained (never discards a queued item).
+  bool pop(T& out) {
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      not_empty_.wait(lock, [&] { return closed_ || !items_.empty(); });
+      if (items_.empty()) return false;  // closed and drained
+      out = std::move(items_.front());
+      items_.pop_front();
+    }
+    not_full_.notify_one();
+    return true;
+  }
+
+  /// Signal end of input: blocked producers return false, consumers drain
+  /// what remains and then return false. Idempotent.
+  void close() {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      closed_ = true;
+    }
+    not_full_.notify_all();
+    not_empty_.notify_all();
+  }
+
+  [[nodiscard]] bool closed() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return closed_;
+  }
+
+  [[nodiscard]] std::size_t size() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return items_.size();
+  }
+
+  [[nodiscard]] std::size_t capacity() const noexcept { return capacity_; }
+
+ private:
+  const std::size_t capacity_;
+  mutable std::mutex mu_;
+  std::condition_variable not_full_;
+  std::condition_variable not_empty_;
+  std::deque<T> items_;
+  bool closed_ = false;
+};
+
+}  // namespace realm::util

@@ -7,8 +7,19 @@
 // mismatch must mean a fault, never a scheduling artifact).
 //
 // The calling thread participates as a worker, so a pool of size 1 runs the
-// body inline with no synchronization. Nested parallel_for calls from inside
-// a worker also run inline rather than deadlocking on the single job slot.
+// body inline with no synchronization.
+//
+// Nesting rules (load-bearing for realm::serve): the "inside a pool worker"
+// marker is thread-local and PROCESS-WIDE — a parallel_for issued from inside
+// any pool's worker runs inline on that worker, even on a *different* pool.
+// This is what lets the serving engine run request-level parallel_for on its
+// own pool while each request's GEMM routes through global_pool(): the GEMM
+// sees the nesting flag and runs inline on the engine worker instead of
+// deadlocking or oversubscribing. Corollaries:
+//  * kernel-level threading (REALM_THREADS / set_global_threads) applies only
+//    to top-level callers, never inside another pool's workers;
+//  * distinct top-level threads may call parallel_for on the same pool
+//    concurrently — they serialize on the single job slot, they don't race.
 #pragma once
 
 #include <cstddef>

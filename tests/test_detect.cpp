@@ -114,6 +114,22 @@ REALM_TEST(correction_recomputes_exact_output) {
   REALM_CHECK_EQ(corrected.report.injection.corrupted_values, std::uint64_t{5});
 }
 
+REALM_TEST(calibration_accepts_activation_spec) {
+  // Callers describe their activation regime; checksums stay exact integer
+  // identities, so every fault-free distribution calibrates to 0 — but a
+  // degenerate spec must be rejected loudly, not silently sampled.
+  Rng rng(44);
+  ProtectedGemm pg = make_pg(24, 12, rng);
+  REALM_CHECK_EQ(calibrate_msd_threshold(pg, 4, 5, rng, ActivationSpec::normal(0.0, 3.0)),
+                 std::uint64_t{0});
+  REALM_CHECK_EQ(calibrate_msd_threshold(pg, 4, 5, rng, ActivationSpec::uniform(-8.0, 8.0)),
+                 std::uint64_t{0});
+  REALM_CHECK_THROWS(calibrate_msd_threshold(pg, 4, 5, rng, ActivationSpec::normal(0.0, 0.0)),
+                     std::invalid_argument);
+  REALM_CHECK_THROWS(calibrate_msd_threshold(pg, 4, 5, rng, ActivationSpec::uniform(1.0, 1.0)),
+                     std::invalid_argument);
+}
+
 REALM_TEST(msd_only_mode_and_thresholding) {
   Rng rng(35);
   DetectionConfig cfg;

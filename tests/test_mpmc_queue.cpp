@@ -1,0 +1,80 @@
+#include "util/mpmc_queue.h"
+
+#include <atomic>
+#include <cstdint>
+#include <numeric>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include "realm_test.h"
+
+using realm::util::MpmcQueue;
+
+REALM_TEST(fifo_order_and_close_semantics) {
+  MpmcQueue<int> q(8);
+  for (int i = 0; i < 5; ++i) REALM_CHECK(q.push(i));
+  REALM_CHECK_EQ(q.size(), std::size_t{5});
+  q.close();
+  // close() is a graceful end-of-input: queued items still drain, in order.
+  int v = -1;
+  for (int i = 0; i < 5; ++i) {
+    REALM_CHECK(q.pop(v));
+    REALM_CHECK_EQ(v, i);
+  }
+  REALM_CHECK(!q.pop(v));      // closed and drained
+  REALM_CHECK(!q.push(99));    // producers see closed immediately
+  REALM_CHECK(q.closed());
+  q.close();                   // idempotent
+  REALM_CHECK_THROWS(MpmcQueue<int>(0), std::invalid_argument);
+}
+
+REALM_TEST(capacity_bound_applies_backpressure) {
+  // A capacity-1 queue forces the producer to park until the consumer pops:
+  // the queue depth can never exceed the bound, and nothing is lost.
+  MpmcQueue<int> q(1);
+  constexpr int kItems = 64;
+  std::thread producer([&] {
+    for (int i = 0; i < kItems; ++i) q.push(i);
+    q.close();
+  });
+  int v = -1;
+  int received = 0;
+  while (q.pop(v)) {
+    REALM_CHECK_EQ(v, received);  // FIFO preserved through the blocking
+    REALM_CHECK(q.size() <= 1);
+    ++received;
+  }
+  producer.join();
+  REALM_CHECK_EQ(received, kItems);
+}
+
+REALM_TEST(many_producers_many_consumers_deliver_each_item_once) {
+  MpmcQueue<std::uint64_t> q(4);
+  constexpr std::uint64_t kProducers = 3, kConsumers = 4, kPerProducer = 200;
+  std::atomic<std::uint64_t> popped_sum{0}, popped_count{0};
+  std::vector<std::thread> threads;
+  for (std::uint64_t p = 0; p < kProducers; ++p) {
+    threads.emplace_back([&, p] {
+      for (std::uint64_t i = 0; i < kPerProducer; ++i) q.push(p * kPerProducer + i);
+    });
+  }
+  std::vector<std::thread> consumers;
+  for (std::uint64_t c = 0; c < kConsumers; ++c) {
+    consumers.emplace_back([&] {
+      std::uint64_t v = 0;
+      while (q.pop(v)) {
+        popped_sum.fetch_add(v, std::memory_order_relaxed);
+        popped_count.fetch_add(1, std::memory_order_relaxed);
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  q.close();
+  for (auto& t : consumers) t.join();
+  const std::uint64_t n = kProducers * kPerProducer;
+  REALM_CHECK_EQ(popped_count.load(), n);
+  REALM_CHECK_EQ(popped_sum.load(), n * (n - 1) / 2);  // each value exactly once
+}
+
+REALM_TEST_MAIN()

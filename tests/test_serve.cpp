@@ -1,0 +1,322 @@
+#include "serve/engine.h"
+#include "serve/tile_grid.h"
+
+#include <cstdint>
+#include <stdexcept>
+#include <vector>
+
+#include "detect/detect.h"
+#include "fault/fault.h"
+#include "realm_test.h"
+#include "tensor/quant.h"
+#include "tensor/tensor.h"
+#include "util/rng.h"
+
+using namespace realm::serve;
+using namespace realm::detect;
+using namespace realm::fault;
+using namespace realm::tensor;
+using realm::util::Rng;
+
+namespace {
+
+MatI8 random_i8(std::size_t rows, std::size_t cols, Rng& rng) {
+  MatI8 m(rows, cols);
+  for (auto& x : m.flat()) x = static_cast<std::int8_t>(rng.uniform_int(-127, 127));
+  return m;
+}
+
+}  // namespace
+
+REALM_TEST(batch_verdict_merge_rules) {
+  BatchVerdict bv;
+  bv.reset();
+
+  DetectionVerdict clean;  // defaults to kClean
+  DetectionVerdict corrected;
+  corrected.verdict = Verdict::kCorrected;
+  corrected.msd_abs = 100;
+  corrected.max_dev_pow2 = 7;
+  corrected.fault_cols = {1, 3};
+  corrected.fault_rows = {0, 2};
+  corrected.injection = {4, 2};
+  DetectionVerdict detected;
+  detected.verdict = Verdict::kDetected;
+  detected.msd_abs = 50;
+  detected.fault_cols = {0};
+  detected.fault_rows = {2, 5};
+  detected.injection = {1, 1};
+
+  bv.merge_tile(clean, 0);
+  REALM_CHECK(bv.verdict == Verdict::kClean);
+  bv.merge_tile(corrected, 16);
+  REALM_CHECK(bv.verdict == Verdict::kCorrected);  // corrected outranks clean
+  bv.merge_tile(detected, 32);
+  REALM_CHECK(bv.verdict == Verdict::kDetected);  // detected outranks corrected
+  bv.merge_tile(corrected, 48);
+  REALM_CHECK(bv.verdict == Verdict::kDetected);  // worst sticks
+  bv.finalize();
+
+  REALM_CHECK_EQ(bv.tiles, std::size_t{4});
+  REALM_CHECK_EQ(bv.tiles_clean, std::size_t{1});
+  REALM_CHECK_EQ(bv.tiles_corrected, std::size_t{2});
+  REALM_CHECK_EQ(bv.tiles_detected, std::size_t{1});
+  REALM_CHECK_EQ(bv.msd_abs_max, std::uint64_t{100});
+  REALM_CHECK_EQ(bv.max_dev_pow2, 7);
+  // Columns carry each tile's origin; rows are the dedup'd union.
+  const std::vector<std::size_t> want_cols{17, 19, 32, 49, 51};
+  REALM_CHECK(bv.fault_cols == want_cols);
+  const std::vector<std::size_t> want_rows{0, 2, 5};
+  REALM_CHECK(bv.fault_rows == want_rows);
+  REALM_CHECK_EQ(bv.injection.flipped_bits, std::uint64_t{9});
+  REALM_CHECK_EQ(bv.injection.corrupted_values, std::uint64_t{5});
+  REALM_CHECK(bv.faulty());
+
+  bv.reset();
+  REALM_CHECK(!bv.faulty());
+  REALM_CHECK_EQ(bv.tiles, std::size_t{0});
+  REALM_CHECK(bv.fault_cols.empty() && bv.fault_rows.empty());
+}
+
+REALM_TEST(all_clean_grid_bit_identical_to_unsharded) {
+  // Sharding is column-separable: the assembled multi-tile output must match
+  // an unsharded ProtectedGemm on the same operands bit for bit, and every
+  // tile must screen clean.
+  Rng rng(101);
+  const std::size_t k = 48, n = 100, m = 9;  // 100/32 -> tiles of 32,32,32,4
+  const MatI8 w8 = random_i8(k, n, rng);
+  const QuantParams qw{0.02f}, qa{0.05f};
+  const MatI8 a8 = random_i8(m, k, rng);
+
+  ProtectedGemm whole;
+  whole.set_weights_quantized(w8, qw);
+  const NullInjector none;
+  Rng rng_whole(7);
+  const ProtectedGemmResult ref = whole.run_quantized(a8, qa, none, rng_whole);
+
+  TileGridConfig cfg;
+  cfg.tile_cols = 32;
+  const TileGrid grid(w8, qw, cfg);
+  REALM_CHECK_EQ(grid.tile_count(), std::size_t{4});
+  REALM_CHECK_EQ(grid.tile_width(3), std::size_t{4});
+  REALM_CHECK_EQ(grid.tile_origin(3), std::size_t{96});
+  REALM_CHECK(grid.verify_weight_integrity());
+
+  std::vector<ProtectedGemmResult> scratch;
+  MatF out;
+  BatchVerdict bv;
+  grid.run_into(a8, qa, none, Rng(7), scratch, out, bv);
+
+  REALM_CHECK(bv.verdict == Verdict::kClean);
+  REALM_CHECK_EQ(bv.tiles_clean, std::size_t{4});
+  REALM_CHECK_EQ(bv.msd_abs_max, std::uint64_t{0});
+  REALM_CHECK(out == ref.output);  // bit-identical floats, not approximate
+  // The per-tile accumulators are exactly the column slices of the whole.
+  for (std::size_t t = 0; t < grid.tile_count(); ++t) {
+    for (std::size_t r = 0; r < m; ++r) {
+      for (std::size_t c = 0; c < grid.tile_width(t); ++c) {
+        REALM_CHECK_EQ(scratch[t].acc(r, c), ref.acc(r, grid.tile_origin(t) + c));
+      }
+    }
+  }
+}
+
+REALM_TEST(single_tile_fault_localizes_to_globally_offset_columns) {
+  Rng rng(102);
+  const std::size_t k = 32, n = 64, m = 8;
+  const MatI8 w8 = random_i8(k, n, rng);
+  const QuantParams qw{0.02f}, qa{0.05f};
+  const MatI8 a8 = random_i8(m, k, rng);
+
+  TileGridConfig cfg;
+  cfg.tile_cols = 16;  // 4 tiles
+  const TileGrid grid(w8, qw, cfg);
+
+  const NullInjector none;
+  const MagFreqInjector mag(1 << 12, 2);
+  const std::size_t hit = 2;  // attack only tile 2 (global columns [32, 48))
+  std::vector<const FaultInjector*> per_tile(grid.tile_count(), &none);
+  per_tile[hit] = &mag;
+
+  std::vector<ProtectedGemmResult> scratch;
+  MatF out;
+  BatchVerdict bv;
+  grid.run_into(a8, qa, per_tile, Rng(11), scratch, out, bv);
+
+  // The fault heals by recompute, but its localization must point into the
+  // attacked tile's GLOBAL column range.
+  REALM_CHECK(bv.verdict == Verdict::kCorrected);
+  REALM_CHECK_EQ(bv.tiles_corrected, std::size_t{1});
+  REALM_CHECK_EQ(bv.tiles_clean, grid.tile_count() - 1);
+  REALM_CHECK(!bv.fault_cols.empty());
+  for (const std::size_t c : bv.fault_cols) {
+    REALM_CHECK(c >= grid.tile_origin(hit));
+    REALM_CHECK(c < grid.tile_origin(hit) + grid.tile_width(hit));
+  }
+  REALM_CHECK_EQ(bv.injection.corrupted_values, std::uint64_t{2});
+
+  // Corrected output equals a golden unsharded run bit for bit.
+  ProtectedGemm whole;
+  whole.set_weights_quantized(w8, qw);
+  Rng rng_ref(99);
+  const ProtectedGemmResult ref = whole.run_quantized(a8, qa, none, rng_ref);
+  REALM_CHECK(out == ref.output);
+}
+
+REALM_TEST(multi_tile_faults_aggregate_worst_verdict) {
+  Rng rng(103);
+  const std::size_t k = 24, n = 48, m = 6;
+  const MatI8 w8 = random_i8(k, n, rng);
+  const QuantParams qw{0.02f}, qa{0.05f};
+  const MatI8 a8 = random_i8(m, k, rng);
+
+  TileGridConfig cfg;
+  cfg.tile_cols = 16;  // 3 tiles
+  cfg.detect.recompute_on_detect = false;  // keep faults visible as kDetected
+  const TileGrid grid(w8, qw, cfg);
+
+  const NullInjector none;
+  const MagFreqInjector mag(1 << 10, 1);
+  std::vector<const FaultInjector*> per_tile{&mag, &none, &mag};
+
+  std::vector<ProtectedGemmResult> scratch;
+  MatF out;
+  BatchVerdict bv;
+  grid.run_into(a8, qa, per_tile, Rng(12), scratch, out, bv);
+
+  REALM_CHECK(bv.verdict == Verdict::kDetected);
+  REALM_CHECK_EQ(bv.tiles_detected, std::size_t{2});
+  REALM_CHECK_EQ(bv.tiles_clean, std::size_t{1});
+  REALM_CHECK_EQ(bv.msd_abs_max, std::uint64_t{1} << 10);
+  // Both attacked tiles contribute globally-offset columns; the clean middle
+  // tile contributes none.
+  bool saw_tile0 = false, saw_tile2 = false;
+  for (const std::size_t c : bv.fault_cols) {
+    REALM_CHECK(c < 16 || c >= 32);  // never in the clean tile's range
+    saw_tile0 = saw_tile0 || c < 16;
+    saw_tile2 = saw_tile2 || c >= 32;
+  }
+  REALM_CHECK(saw_tile0 && saw_tile2);
+}
+
+REALM_TEST(engine_deterministic_at_1_2_8_workers) {
+  // The whole point of per-request forked fault streams: verdicts and outputs
+  // are a pure function of (seed, requests) — identical at any worker count
+  // and any queue interleaving.
+  Rng rng(104);
+  const std::size_t k = 32, n = 96, m = 8, nreq = 12;
+  const MatI8 w8 = random_i8(k, n, rng);
+  const QuantParams qw{0.02f}, qa{0.05f};
+  TileGridConfig gcfg;
+  gcfg.tile_cols = 32;
+  const TileGrid grid(w8, qw, gcfg);
+
+  std::vector<MatI8> acts;
+  acts.reserve(nreq);
+  for (std::size_t i = 0; i < nreq; ++i) acts.push_back(random_i8(m, k, rng));
+  const RandomBitFlipInjector flips(0.002, 20, 30);
+  const NullInjector none;
+  std::vector<Request> reqs(nreq);
+  for (std::size_t i = 0; i < nreq; ++i) {
+    reqs[i].a8 = &acts[i];
+    reqs[i].qa = qa;
+    reqs[i].injector = (i % 3 == 0) ? static_cast<const FaultInjector*>(&flips) : &none;
+  }
+
+  std::vector<std::vector<Response>> runs;
+  for (const std::size_t workers : {std::size_t{1}, std::size_t{2}, std::size_t{8}}) {
+    ServeConfig scfg;
+    scfg.workers = workers;
+    scfg.queue_capacity = 3;  // force backpressure on the wider runs
+    scfg.seed = 0xfeed;
+    ServeEngine engine(grid, scfg);
+    runs.push_back(engine.serve(reqs));
+    const ServeStats& st = engine.stats();
+    REALM_CHECK_EQ(st.requests, std::uint64_t{nreq});
+    REALM_CHECK_EQ(st.tiles_screened, std::uint64_t{nreq * grid.tile_count()});
+    REALM_CHECK_EQ(st.latency_ms.count(), std::size_t{nreq});
+    REALM_CHECK(st.p99_ms >= st.p50_ms);
+  }
+  for (std::size_t w = 1; w < runs.size(); ++w) {
+    for (std::size_t i = 0; i < nreq; ++i) {
+      const Response &a = runs[0][i], &b = runs[w][i];
+      REALM_CHECK(a.output == b.output);
+      REALM_CHECK(a.verdict.verdict == b.verdict.verdict);
+      REALM_CHECK(a.verdict.fault_cols == b.verdict.fault_cols);
+      REALM_CHECK(a.verdict.fault_rows == b.verdict.fault_rows);
+      REALM_CHECK_EQ(a.verdict.msd_abs_max, b.verdict.msd_abs_max);
+      REALM_CHECK_EQ(a.verdict.injection.flipped_bits, b.verdict.injection.flipped_bits);
+    }
+  }
+}
+
+REALM_TEST(engine_recycles_buffers_and_accumulates_stats) {
+  Rng rng(105);
+  const std::size_t k = 16, n = 32, m = 4;
+  const TileGrid grid(random_i8(k, n, rng), QuantParams{0.02f}, TileGridConfig{16, {}});
+  const MatI8 a8 = random_i8(m, k, rng);
+  const MagFreqInjector mag(1 << 8, 1);
+  std::vector<Request> reqs(4);
+  for (auto& r : reqs) {
+    r.a8 = &a8;
+    r.qa = QuantParams{0.05f};
+    r.injector = &mag;
+  }
+  ServeConfig scfg;
+  scfg.workers = 2;
+  ServeEngine engine(grid, scfg);
+  std::vector<Response> responses;
+  engine.serve(reqs, responses);
+  const float* out0 = responses[0].output.data();
+  engine.serve(reqs, responses);  // second batch reuses the response buffers
+  REALM_CHECK(responses[0].output.data() == out0);
+  REALM_CHECK_EQ(engine.stats().requests, std::uint64_t{8});
+  // Every request hits exactly one faulty tile (mag injects per tile, both
+  // tiles attacked, each corrected).
+  REALM_CHECK_EQ(engine.stats().tiles_corrected, std::uint64_t{8 * grid.tile_count()});
+}
+
+REALM_TEST(misuse_is_rejected) {
+  Rng rng(106);
+  const MatI8 w8 = random_i8(8, 8, rng);
+  REALM_CHECK_THROWS(TileGrid(w8, QuantParams{0.1f}, TileGridConfig{0, {}}),
+                     std::invalid_argument);
+  REALM_CHECK_THROWS(TileGrid(MatI8{}, QuantParams{0.1f}), std::invalid_argument);
+
+  const TileGrid grid(w8, QuantParams{0.1f}, TileGridConfig{4, {}});
+  const MatI8 a8 = random_i8(2, 8, rng);
+  const NullInjector none;
+  std::vector<ProtectedGemmResult> scratch;
+  MatF out;
+  BatchVerdict bv;
+  const std::vector<const FaultInjector*> short_list{&none};  // 1 != tile_count()
+  REALM_CHECK_THROWS(grid.run_into(a8, QuantParams{0.1f}, short_list, Rng(1), scratch, out, bv),
+                     std::invalid_argument);
+
+  ServeConfig bad;
+  bad.queue_capacity = 0;
+  REALM_CHECK_THROWS(ServeEngine(grid, bad), std::invalid_argument);
+
+  ServeEngine engine(grid, ServeConfig{});
+  std::vector<Request> reqs(1);  // null activation
+  REALM_CHECK_THROWS(engine.serve(reqs), std::invalid_argument);
+
+  // An exception thrown from INSIDE a worker (dim mismatch surfaces in
+  // run_quantized_into, past the up-front validation) must propagate out of
+  // the multi-worker queue path cleanly — producer joined, no terminate.
+  ServeConfig two;
+  two.workers = 2;
+  two.queue_capacity = 1;
+  ServeEngine multi(grid, two);
+  const MatI8 bad_dims = random_i8(2, 4, rng);  // cols != k
+  std::vector<Request> mixed(3);
+  for (auto& r : mixed) {
+    r.a8 = &a8;
+    r.qa = QuantParams{0.1f};
+  }
+  mixed[1].a8 = &bad_dims;
+  std::vector<Response> rsp;
+  REALM_CHECK_THROWS(multi.serve(mixed, rsp), std::invalid_argument);
+}
+
+REALM_TEST_MAIN()

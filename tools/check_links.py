@@ -1,0 +1,106 @@
+#!/usr/bin/env python3
+"""Markdown link checker for the docs CI job.
+
+Scans the given markdown files / directories for inline links and images
+(``[text](target)``) and fails (exit 1) when:
+
+  * a relative file or directory target does not exist,
+  * an in-file anchor (``#section``) or cross-file anchor
+    (``other.md#section``) does not match any heading in the target file.
+
+Anchors are matched against GitHub-style slugs of ATX headings (lowercase;
+spaces to hyphens; punctuation dropped; ``-1``/``-2`` suffixes for duplicate
+headings). Fenced code blocks are ignored so shell snippets with brackets do
+not register as links. External http(s)/mailto links are skipped — CI has no
+business depending on the wider internet being up.
+
+usage: check_links.py PATH [PATH ...]
+"""
+
+import functools
+import pathlib
+import re
+import sys
+
+LINK_RE = re.compile(r"!?\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+HEADING_RE = re.compile(r"^#{1,6}\s+(.*)$")
+FENCE_RE = re.compile(r"^(```|~~~)")
+
+
+def strip_fences(text):
+    out, fenced = [], False
+    for line in text.splitlines():
+        if FENCE_RE.match(line.strip()):
+            fenced = not fenced
+            continue
+        out.append("" if fenced else line)
+    return "\n".join(out)
+
+
+def slugify(heading):
+    # Drop inline code/links markup, then GitHub's slug rules.
+    heading = re.sub(r"[`*_]", "", heading)
+    heading = re.sub(r"\[([^\]]*)\]\([^)]*\)", r"\1", heading)
+    heading = heading.strip().lower()
+    heading = re.sub(r"[^\w\- ]", "", heading)
+    return heading.replace(" ", "-")
+
+
+@functools.lru_cache(maxsize=None)
+def anchors_of(path):
+    slugs = {}
+    seen = {}
+    for line in strip_fences(path.read_text(encoding="utf-8")).splitlines():
+        m = HEADING_RE.match(line)
+        if not m:
+            continue
+        slug = slugify(m.group(1))
+        n = seen.get(slug, 0)
+        seen[slug] = n + 1
+        slugs[slug if n == 0 else f"{slug}-{n}"] = True
+    return slugs
+
+
+def check_file(md, errors):
+    text = strip_fences(md.read_text(encoding="utf-8"))
+    for m in LINK_RE.finditer(text):
+        target = m.group(1)
+        if target.startswith(("http://", "https://", "mailto:")):
+            continue
+        path_part, _, anchor = target.partition("#")
+        dest = md if not path_part else (md.parent / path_part).resolve()
+        if path_part and not dest.exists():
+            errors.append(f"{md}: broken link -> {target} (no such file)")
+            continue
+        if anchor:
+            if dest.is_dir() or dest.suffix.lower() not in (".md", ".markdown"):
+                errors.append(f"{md}: anchor into non-markdown target -> {target}")
+            elif anchor not in anchors_of(dest):
+                errors.append(f"{md}: broken anchor -> {target}")
+
+
+def main(argv):
+    if len(argv) < 2:
+        print(__doc__)
+        return 2
+    files = []
+    for arg in argv[1:]:
+        p = pathlib.Path(arg)
+        if p.is_dir():
+            files.extend(sorted(p.rglob("*.md")))
+        elif p.exists():
+            files.append(p)
+        else:
+            print(f"check_links: no such path: {arg}")
+            return 2
+    errors = []
+    for md in files:
+        check_file(md, errors)
+    for e in errors:
+        print(e)
+    print(f"check_links: {len(files)} file(s), {len(errors)} broken link(s)")
+    return 1 if errors else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
