@@ -20,8 +20,10 @@
 
 #include "detect/detect.h"
 #include "fault/fault.h"
+#include "sa/datapath.h"
 #include "serve/engine.h"
 #include "serve/tile_grid.h"
+#include "tensor/checksum_kernels.h"
 #include "tensor/gemm.h"
 #include "tensor/gemm_kernels.h"
 #include "tensor/quant.h"
@@ -62,7 +64,7 @@ struct ShapeResult {
 
 int usage() {
   std::cerr << "usage: protected_gemm_bench [--csv] [--threads N] [--repeat N] [--json FILE]"
-               " [--smoke] [--serve]\n"
+               " [--smoke] [--serve] [--sa]\n"
             << "  --csv        emit CSV instead of a box-drawn table\n"
             << "  --threads N  total GEMM threads (default 1; sets the global pool).\n"
             << "               With --serve: request-level engine workers instead\n"
@@ -76,8 +78,105 @@ int usage() {
             << "               path once under the sanitizer CI leg\n"
             << "  --serve      batched serving mode: drive a TileGrid through the\n"
             << "               ServeEngine and report requests/s, p50/p99 latency, and\n"
-            << "               per-request screen overhead (raw vs protected tiles)\n";
+            << "               per-request screen overhead (raw vs protected tiles)\n"
+            << "  --sa         reduced-width datapath mode: time the realm::sa screen\n"
+            << "               at several register widths/overflow semantics against\n"
+            << "               the exact int64 reductions (wrap rides SIMD, saturate\n"
+            << "               is the scalar register model)\n";
   return 2;
+}
+
+/// Reduced-width screen cost: one accumulator-sized pair of matrices, the
+/// sa::screen at each (bits, overflow) combination vs the exact int64 column
+/// + row reductions the full-precision screen pays. Not CI-gated — the
+/// interesting signal is the wrap-vs-saturate gap (SIMD reduction + truncate
+/// vs scalar ordered register model), which bounds what a software fallback
+/// of the narrow hardware datapath would cost.
+int sa_main(bool csv, bool smoke, long threads, int repeat, const std::string& json_path) {
+  namespace rt = realm::tensor;
+  realm::util::set_global_threads(static_cast<std::size_t>(threads));
+  realm::util::Rng rng(0x5aab);
+
+  const std::size_t m = smoke ? 64 : 512;
+  const std::size_t n = smoke ? 96 : 1024;
+  rt::MatI32 truth(m, n), faulted(m, n);
+  for (std::size_t i = 0; i < truth.size(); ++i) {
+    const auto v = static_cast<std::int32_t>(rng.uniform_int(-2'000'000, 2'000'000));
+    truth.flat()[i] = v;
+    faulted.flat()[i] = v;
+  }
+  faulted.flat()[truth.size() / 2] += 1 << 20;  // keep the screens honest
+  const int reps = repeat > 0 ? repeat : (smoke ? 5 : 50);
+
+  realm::util::TablePrinter table(
+      std::string("protected_gemm_bench --sa (reduced-width screen of a ") + std::to_string(m) +
+      "x" + std::to_string(n) + " accumulator, tier=" +
+      realm::tensor::kernels::to_string(realm::tensor::kernels::active_tier()) +
+      ", threads=" + std::to_string(threads) + ")");
+  table.header({"datapath", "bits", "screen_ms", "flagged"});
+
+  struct Row {
+    std::string datapath;
+    int bits;
+    double ms;
+    bool flagged;
+  };
+  std::vector<Row> rows;
+
+  // Exact int64 reference reductions (what the full-precision screen pays).
+  // Its verdict is measured too: a 64-bit wrap screen cannot truncate
+  // anything an int32 accumulator produces, so it IS the int64 verdict.
+  {
+    const bool ref_flagged =
+        realm::sa::screen(truth, faulted, {64, realm::sa::Overflow::kWrap, 0, true}).flagged;
+    std::vector<std::int64_t> cols_out(n), rows_out(m);
+    auto t0 = Clock::now();
+    for (int r = 0; r < reps; ++r) {
+      realm::tensor::kernels::col_sums_i32(faulted.data(), m, n, cols_out.data());
+      realm::tensor::kernels::row_sums_i32(faulted.data(), m, n, rows_out.data());
+    }
+    rows.push_back({"int64 exact", 64, seconds_since(t0) / reps * 1e3, ref_flagged});
+  }
+  for (const auto& cfg : {realm::sa::DatapathConfig{16, realm::sa::Overflow::kWrap, 0, true},
+                          {32, realm::sa::Overflow::kWrap, 0, true},
+                          {64, realm::sa::Overflow::kWrap, 0, true},
+                          {16, realm::sa::Overflow::kSaturate, 0, true}}) {
+    realm::sa::ScreenScratch scratch;
+    realm::sa::ScreenResult res = realm::sa::screen_into(truth, faulted, cfg, scratch);
+    const auto t0 = Clock::now();
+    for (int r = 0; r < reps; ++r) res = realm::sa::screen_into(truth, faulted, cfg, scratch);
+    rows.push_back({realm::sa::to_string(cfg.overflow), cfg.bits,
+                    seconds_since(t0) / reps * 1e3, res.flagged});
+  }
+  for (const Row& r : rows) {
+    table.row({r.datapath, std::to_string(r.bits), realm::util::TablePrinter::num(r.ms, 4),
+               r.flagged ? "yes" : "no"});
+  }
+  if (csv) {
+    table.print_csv(std::cout);
+  } else {
+    table.print(std::cout);
+  }
+
+  if (!json_path.empty()) {
+    std::ofstream os(json_path);
+    if (!os) {
+      std::cerr << "protected_gemm_bench: cannot write " << json_path << "\n";
+      return 1;
+    }
+    os << "{\n  \"schema_version\": 1,\n  \"mode\": \"sa\",\n  \"m\": " << m
+       << ", \"n\": " << n << ",\n  \"threads\": " << threads << ",\n  \"datapaths\": [\n";
+    for (std::size_t i = 0; i < rows.size(); ++i) {
+      char buf[160];
+      std::snprintf(buf, sizeof(buf),
+                    "    {\"datapath\": \"%s\", \"bits\": %d, \"screen_ms\": %.4f}%s\n",
+                    rows[i].datapath.c_str(), rows[i].bits, rows[i].ms,
+                    i + 1 < rows.size() ? "," : "");
+      os << buf;
+    }
+    os << "  ]\n}\n";
+  }
+  return 0;
 }
 
 void write_json(const std::string& path, const std::vector<ShapeResult>& results,
@@ -262,6 +361,7 @@ int main(int argc, char** argv) {
   bool csv = false;
   bool smoke = false;
   bool serve = false;
+  bool sa = false;
   long threads = 1;
   int repeat = 0;  // 0 = auto
   std::string json_path;
@@ -273,6 +373,8 @@ int main(int argc, char** argv) {
       smoke = true;
     } else if (arg == "--serve") {
       serve = true;
+    } else if (arg == "--sa") {
+      sa = true;
     } else if (arg == "--threads" && i + 1 < argc) {
       threads = std::strtol(argv[++i], nullptr, 10);
       if (threads < 1) return usage();
@@ -285,7 +387,9 @@ int main(int argc, char** argv) {
       return usage();
     }
   }
+  if (serve && sa) return usage();
   if (serve) return serve_main(csv, smoke, threads, repeat, json_path);
+  if (sa) return sa_main(csv, smoke, threads, repeat, json_path);
   realm::util::set_global_threads(static_cast<std::size_t>(threads));
   realm::util::Rng rng(0xbe7c);
 

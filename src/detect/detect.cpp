@@ -24,33 +24,40 @@ void load_column_stats(DetectionVerdict& v, const tensor::ColumnDeviation& dev,
   }
 }
 
-/// Full screen an accumulator must pass to count as clean: MSD within
-/// threshold, and in two-sided mode zero deviation on both the column and
-/// row sides. Used for the initial verdict AND the post-recompute recheck so
-/// a correction is only certified by the same criteria that flagged it.
-bool screen_clean(const DetectionConfig& cfg, const tensor::MatI8& a8,
-                  const std::vector<std::int64_t>& w_row_basis,
-                  const std::vector<std::int64_t>& predicted_cols,
-                  const tensor::MatI32& acc) {
-  const tensor::ColumnDeviation dev =
-      tensor::column_deviation_from_predicted(predicted_cols, acc);
-  if (util::abs_u64(util::clamp_to_bits(dev.msd_signed, cfg.msd_datapath_bits)) >
-      cfg.msd_threshold) {
-    return false;
-  }
+}  // namespace
+
+DetectionVerdict screen_accumulator(const DetectionConfig& cfg,
+                                    const std::vector<std::int64_t>& predicted_cols,
+                                    const tensor::MatI8& a8,
+                                    const std::vector<std::int64_t>& w_row_basis,
+                                    const tensor::MatI32& acc) {
+  DetectionVerdict report;
+  // Column side: predicted (eᵀA)·W vs observed eᵀC, MSD thresholding.
+  const tensor::ColumnDeviation dev = tensor::column_deviation_from_predicted(predicted_cols, acc);
+  load_column_stats(report, dev, cfg.msd_datapath_bits);
+
+  bool flagged = report.msd_abs > cfg.msd_threshold;
   if (cfg.mode == CheckMode::kTwoSided) {
-    if (dev.any_nonzero()) return false;
+    for (std::size_t j = 0; j < dev.diff.size(); ++j) {
+      if (dev.diff[j] != 0) report.fault_cols.push_back(j);
+    }
     const std::vector<std::int64_t> predicted_rows =
         tensor::predict_row_checksum(a8, w_row_basis);
     const std::vector<std::int64_t> observed_rows = tensor::row_sums(acc);
     for (std::size_t i = 0; i < predicted_rows.size(); ++i) {
-      if (util::sat_sub_i64(observed_rows[i], predicted_rows[i]) != 0) return false;
+      if (util::sat_sub_i64(observed_rows[i], predicted_rows[i]) != 0) {
+        report.fault_rows.push_back(i);
+      }
     }
+    // The row side must participate in the verdict, not just localization:
+    // opposite-sign errors in one column cancel in every column statistic
+    // (zero diff, zero MSD) but still perturb two row sums — the case
+    // classical two-sided ABFT exists to catch.
+    flagged = flagged || !report.fault_cols.empty() || !report.fault_rows.empty();
   }
-  return true;
+  report.verdict = flagged ? Verdict::kDetected : Verdict::kClean;
+  return report;
 }
-
-}  // namespace
 
 const char* to_string(Verdict v) noexcept {
   switch (v) {
@@ -114,7 +121,6 @@ void ProtectedGemm::run_quantized_into(const tensor::MatI8& a8, tensor::QuantPar
     throw std::invalid_argument("ProtectedGemm: activation/weight dim mismatch");
   }
 
-  result.report = DetectionVerdict{};
   // The fused store-phase reduction of the multiply IS the predicted column
   // checksum: injection perturbs the accumulator only after this line, so
   // the fused sums are eᵀ(A·W) of the true product, which equals (eᵀA)·W
@@ -123,45 +129,20 @@ void ProtectedGemm::run_quantized_into(const tensor::MatI8& a8, tensor::QuantPar
   // replaces the scalar O(k·n) predict_col_checksum pass.
   std::vector<std::int64_t> predicted_cols;
   tensor::gemm_i8_prepacked(a8, w8_, w_packed_, result.acc, &predicted_cols);
-  result.report.injection = injector.inject(result.acc.flat(), rng);
+  const fault::InjectionReport injection = injector.inject(result.acc.flat(), rng);
 
-  // Column side: predicted (eᵀA)·W vs observed eᵀC, MSD thresholding.
-  tensor::ColumnDeviation dev =
-      tensor::column_deviation_from_predicted(predicted_cols, result.acc);
-  load_column_stats(result.report, dev, cfg_.msd_datapath_bits);
+  result.report = screen_accumulator(cfg_, predicted_cols, a8, w_row_basis_, result.acc);
+  result.report.injection = injection;
 
-  bool flagged = result.report.msd_abs > cfg_.msd_threshold;
-  if (cfg_.mode == CheckMode::kTwoSided) {
-    for (std::size_t j = 0; j < dev.diff.size(); ++j) {
-      if (dev.diff[j] != 0) result.report.fault_cols.push_back(j);
-    }
-    const std::vector<std::int64_t> predicted_rows =
-        tensor::predict_row_checksum(a8, w_row_basis_);
-    const std::vector<std::int64_t> observed_rows = tensor::row_sums(result.acc);
-    for (std::size_t i = 0; i < predicted_rows.size(); ++i) {
-      if (util::sat_sub_i64(observed_rows[i], predicted_rows[i]) != 0) {
-        result.report.fault_rows.push_back(i);
-      }
-    }
-    // The row side must participate in the verdict, not just localization:
-    // opposite-sign errors in one column cancel in every column statistic
-    // (zero diff, zero MSD) but still perturb two row sums — the case
-    // classical two-sided ABFT exists to catch.
-    flagged = flagged || !result.report.fault_cols.empty() ||
-              !result.report.fault_rows.empty();
-  }
-
-  if (flagged) {
-    result.report.verdict = Verdict::kDetected;
-    if (cfg_.recompute_on_detect) {
-      // Fault-free replay of the tile; re-screen with the full criteria so a
-      // correction is only claimed when the recheck actually comes back clean
-      // (a column-only recheck would certify row-detected fault classes it
-      // never re-examined).
-      tensor::gemm_i8_prepacked(a8, w8_, w_packed_, result.acc);
-      if (screen_clean(cfg_, a8, w_row_basis_, predicted_cols, result.acc)) {
-        result.report.verdict = Verdict::kCorrected;
-      }
+  if (result.report.verdict == Verdict::kDetected && cfg_.recompute_on_detect) {
+    // Fault-free replay of the tile; re-screen with the full criteria so a
+    // correction is only claimed when the recheck actually comes back clean
+    // (a column-only recheck would certify row-detected fault classes it
+    // never re-examined).
+    tensor::gemm_i8_prepacked(a8, w8_, w_packed_, result.acc);
+    if (screen_accumulator(cfg_, predicted_cols, a8, w_row_basis_, result.acc).verdict ==
+        Verdict::kClean) {
+      result.report.verdict = Verdict::kCorrected;
     }
   }
 

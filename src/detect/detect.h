@@ -91,6 +91,23 @@ struct ProtectedGemmResult {
   DetectionVerdict report;
 };
 
+/// The full-width (int64) checksum screen, exposed as a standalone step:
+/// exactly what run_quantized* applies internally — MSD thresholding of the
+/// clamped column statistic and, in two-sided mode, per-column deviations
+/// plus the row-side identity from `a8` and the resident basis `W·e`. The
+/// returned verdict is kClean or kDetected (correction is the pipeline's
+/// job, not the screen's) and `injection` is left default-initialized.
+///
+/// Exposed so external datapath models can re-screen the same accumulator
+/// the pipeline saw: realm::sa screens one faulted accumulator through
+/// several reduced-width register models and uses this as the int64
+/// reference verdict in its coverage comparison.
+[[nodiscard]] DetectionVerdict screen_accumulator(const DetectionConfig& cfg,
+                                                  const std::vector<std::int64_t>& predicted_cols,
+                                                  const tensor::MatI8& a8,
+                                                  const std::vector<std::int64_t>& w_row_basis,
+                                                  const tensor::MatI32& acc);
+
 // Thread-safety contract (load-bearing for realm::serve): after set_weights*
 // returns, a ProtectedGemm is immutable — every run* overload and
 // verify_weight_integrity() only read members, so any number of threads may

@@ -14,9 +14,10 @@ RandomBitFlipInjector::RandomBitFlipInjector(double ber, int bit_lo, int bit_hi)
   }
 }
 
-InjectionReport RandomBitFlipInjector::inject(std::span<std::int32_t> data,
-                                              util::Rng& rng) const {
+InjectionReport RandomBitFlipInjector::inject(std::span<std::int32_t> data, util::Rng& rng,
+                                              std::vector<FlipRecord>* record) const {
   InjectionReport report;
+  if (record != nullptr) record->clear();
   if (ber_ <= 0.0 || data.empty()) return report;
   const auto bits_per_elem = static_cast<std::uint64_t>(bit_hi_ - bit_lo_ + 1);
   const std::uint64_t trials = data.size() * bits_per_elem;
@@ -31,6 +32,10 @@ InjectionReport RandomBitFlipInjector::inject(std::span<std::int32_t> data,
     const int bit = bit_lo_ + static_cast<int>(pos % bits_per_elem);
     auto word = static_cast<std::uint32_t>(data[elem]);
     word ^= (1u << bit);
+    if (record != nullptr) {
+      record->push_back({elem, data[elem], static_cast<std::int32_t>(word),
+                         static_cast<std::int8_t>(bit)});
+    }
     data[elem] = static_cast<std::int32_t>(word);
   }
   report.flipped_bits = flips;
@@ -43,9 +48,10 @@ SingleBitFlipInjector::SingleBitFlipInjector(double ber, int bit) : ber_(ber), b
   if (bit < 0 || bit > 31) throw std::invalid_argument("bit must be in [0,31]");
 }
 
-InjectionReport SingleBitFlipInjector::inject(std::span<std::int32_t> data,
-                                              util::Rng& rng) const {
+InjectionReport SingleBitFlipInjector::inject(std::span<std::int32_t> data, util::Rng& rng,
+                                              std::vector<FlipRecord>* record) const {
   InjectionReport report;
+  if (record != nullptr) record->clear();
   if (ber_ <= 0.0 || data.empty()) return report;
   // Sample elements WITHOUT replacement: the protocol attacks one fixed bit,
   // so two flips landing on the same element would cancel and the reported
@@ -55,6 +61,10 @@ InjectionReport SingleBitFlipInjector::inject(std::span<std::int32_t> data,
   for (const auto idx : targets) {
     auto word = static_cast<std::uint32_t>(data[idx]);
     word ^= (1u << bit_);
+    if (record != nullptr) {
+      record->push_back({idx, data[idx], static_cast<std::int32_t>(word),
+                         static_cast<std::int8_t>(bit_)});
+    }
     data[idx] = static_cast<std::int32_t>(word);
   }
   report.flipped_bits = targets.size();
@@ -66,8 +76,10 @@ MagFreqInjector::MagFreqInjector(std::int64_t mag, std::uint64_t freq) : mag_(ma
   if (mag == 0) throw std::invalid_argument("mag must be nonzero");
 }
 
-InjectionReport MagFreqInjector::inject(std::span<std::int32_t> data, util::Rng& rng) const {
+InjectionReport MagFreqInjector::inject(std::span<std::int32_t> data, util::Rng& rng,
+                                        std::vector<FlipRecord>* record) const {
   InjectionReport report;
+  if (record != nullptr) record->clear();
   if (freq_ == 0 || data.empty()) return report;
   const std::uint64_t count = std::min<std::uint64_t>(freq_, data.size());
   const auto targets = rng.sample_without_replacement(data.size(), count);
@@ -77,7 +89,9 @@ InjectionReport MagFreqInjector::inject(std::span<std::int32_t> data, util::Rng&
     const std::int64_t v = static_cast<std::int64_t>(data[idx]) + mag_;
     const std::int64_t lo = std::numeric_limits<std::int32_t>::min();
     const std::int64_t hi = std::numeric_limits<std::int32_t>::max();
-    data[idx] = static_cast<std::int32_t>(std::clamp(v, lo, hi));
+    const auto after = static_cast<std::int32_t>(std::clamp(v, lo, hi));
+    if (record != nullptr) record->push_back({idx, data[idx], after, FlipRecord::kAdditiveBit});
+    data[idx] = after;
   }
   report.corrupted_values = count;
   report.flipped_bits = count;  // one logical upset per element

@@ -17,6 +17,7 @@
 
 #include <cstdint>
 #include <span>
+#include <vector>
 
 #include "util/rng.h"
 
@@ -28,11 +29,35 @@ struct InjectionReport {
   std::uint64_t corrupted_values = 0;  ///< number of distinct elements touched
 };
 
+/// One recorded mutation: flat element `index` went `before` -> `after`.
+/// `bit` is the flipped bit position for bit-flip injectors, or kAdditiveBit
+/// for magnitude-model injectors that add rather than flip. Records are
+/// emitted in application order, so replaying them in REVERSE (writing each
+/// record's `before` back) reconstructs the fault-free tensor exactly — even
+/// when two flips land on the same element. The realm::sa coverage harness
+/// consumes them as injected ground truth (which bits actually flipped, and
+/// whether the net effect was nonzero).
+struct FlipRecord {
+  static constexpr std::int8_t kAdditiveBit = -1;
+
+  std::uint64_t index = 0;
+  std::int32_t before = 0;
+  std::int32_t after = 0;
+  std::int8_t bit = kAdditiveBit;
+};
+
 /// Interface for anything that can corrupt an INT32 accumulator tensor.
+///
+/// When `record` is non-null it is cleared and filled with one FlipRecord per
+/// applied mutation; passing nullptr (the default, and the serving hot path)
+/// keeps injection allocation-free. The default argument lives on the base
+/// class and every call site holds a FaultInjector&, so the binding is
+/// unambiguous.
 class FaultInjector {
  public:
   virtual ~FaultInjector() = default;
-  virtual InjectionReport inject(std::span<std::int32_t> data, util::Rng& rng) const = 0;
+  virtual InjectionReport inject(std::span<std::int32_t> data, util::Rng& rng,
+                                 std::vector<FlipRecord>* record = nullptr) const = 0;
 };
 
 /// Bit flips with independent per-bit probability `ber` over bits
@@ -44,7 +69,8 @@ class RandomBitFlipInjector final : public FaultInjector {
   /// @param bit_hi   highest attackable bit (31 = sign bit of int32)
   RandomBitFlipInjector(double ber, int bit_lo = 16, int bit_hi = 31);
 
-  InjectionReport inject(std::span<std::int32_t> data, util::Rng& rng) const override;
+  InjectionReport inject(std::span<std::int32_t> data, util::Rng& rng,
+                         std::vector<FlipRecord>* record = nullptr) const override;
 
   [[nodiscard]] double ber() const noexcept { return ber_; }
   [[nodiscard]] int bit_lo() const noexcept { return bit_lo_; }
@@ -63,7 +89,8 @@ class SingleBitFlipInjector final : public FaultInjector {
  public:
   SingleBitFlipInjector(double ber, int bit);
 
-  InjectionReport inject(std::span<std::int32_t> data, util::Rng& rng) const override;
+  InjectionReport inject(std::span<std::int32_t> data, util::Rng& rng,
+                         std::vector<FlipRecord>* record = nullptr) const override;
 
   [[nodiscard]] int bit() const noexcept { return bit_; }
 
@@ -79,7 +106,8 @@ class MagFreqInjector final : public FaultInjector {
  public:
   MagFreqInjector(std::int64_t mag, std::uint64_t freq);
 
-  InjectionReport inject(std::span<std::int32_t> data, util::Rng& rng) const override;
+  InjectionReport inject(std::span<std::int32_t> data, util::Rng& rng,
+                         std::vector<FlipRecord>* record = nullptr) const override;
 
   [[nodiscard]] std::int64_t mag() const noexcept { return mag_; }
   [[nodiscard]] std::uint64_t freq() const noexcept { return freq_; }
@@ -92,7 +120,11 @@ class MagFreqInjector final : public FaultInjector {
 /// No-op injector (golden runs).
 class NullInjector final : public FaultInjector {
  public:
-  InjectionReport inject(std::span<std::int32_t>, util::Rng&) const override { return {}; }
+  InjectionReport inject(std::span<std::int32_t>, util::Rng&,
+                         std::vector<FlipRecord>* record = nullptr) const override {
+    if (record != nullptr) record->clear();
+    return {};
+  }
 };
 
 }  // namespace realm::fault

@@ -1,0 +1,175 @@
+#include "sa/datapath.h"
+
+#include <stdexcept>
+#include <utility>
+
+#include "tensor/checksum_kernels.h"
+#include "tensor/gemm.h"
+
+namespace realm::sa {
+
+namespace {
+
+void check_bits(int bits) {
+  if (bits < 1 || bits > 64) {
+    throw std::invalid_argument("sa: register width must be in [1, 64]");
+  }
+}
+
+/// This model characterizes detection; it never replays a flagged tile.
+detect::DetectionConfig reference_screen_cfg(detect::DetectionConfig cfg) {
+  cfg.recompute_on_detect = false;
+  return cfg;
+}
+
+/// obs − pred through the same width-limited datapath the registers use.
+/// Wrap subtracts mod 2^64 first (unsigned arithmetic — both operands are
+/// register values, but their int64 difference could overflow at bits == 64)
+/// and truncates; saturate clamps at the rails like every register add.
+std::int64_t width_sub(std::int64_t obs, std::int64_t pred, int bits, Overflow overflow) {
+  if (overflow == Overflow::kWrap) {
+    const std::uint64_t d = static_cast<std::uint64_t>(obs) - static_cast<std::uint64_t>(pred);
+    return util::wrap_to_bits(static_cast<std::int64_t>(d), bits);
+  }
+  return util::clamp_to_bits(util::sat_sub_i64(obs, pred), bits);
+}
+
+}  // namespace
+
+const char* to_string(Overflow o) noexcept {
+  switch (o) {
+    case Overflow::kWrap: return "wrap";
+    case Overflow::kSaturate: return "saturate";
+  }
+  return "?";
+}
+
+Reg::Reg(int bits, Overflow overflow) : bits_(bits), overflow_(overflow) { check_bits(bits); }
+
+void Reg::add(std::int64_t x) noexcept {
+  if (overflow_ == Overflow::kWrap) {
+    const std::uint64_t s = static_cast<std::uint64_t>(value_) + static_cast<std::uint64_t>(x);
+    value_ = util::wrap_to_bits(static_cast<std::int64_t>(s), bits_);
+  } else {
+    value_ = util::clamp_to_bits(util::sat_add_i64(value_, x), bits_);
+  }
+}
+
+ScreenResult screen(const tensor::MatI32& truth, const tensor::MatI32& faulted,
+                    const DatapathConfig& cfg) {
+  ScreenScratch scratch;
+  return screen_into(truth, faulted, cfg, scratch);
+}
+
+ScreenResult screen_into(const tensor::MatI32& truth, const tensor::MatI32& faulted,
+                         const DatapathConfig& cfg, ScreenScratch& scratch) {
+  check_bits(cfg.bits);
+  if (truth.rows() != faulted.rows() || truth.cols() != faulted.cols()) {
+    throw std::invalid_argument("sa::screen: truth/faulted shape mismatch");
+  }
+  const bool sat = cfg.overflow == Overflow::kSaturate;
+
+  ScreenResult res;
+  res.bits = cfg.bits;
+  res.overflow = cfg.overflow;
+
+  // Column side: both checksum rows run at the reduced width — the predicted
+  // registers see the fault-free partial sums (Fig. 7's dedicated datapath),
+  // the observed registers re-read the possibly-faulted accumulator.
+  scratch.pred_cols.resize(truth.cols());
+  scratch.obs_cols.resize(truth.cols());
+  tensor::kernels::col_sums_i32_width(truth.data(), truth.rows(), truth.cols(), cfg.bits, sat,
+                                      scratch.pred_cols.data());
+  tensor::kernels::col_sums_i32_width(faulted.data(), faulted.rows(), faulted.cols(), cfg.bits,
+                                      sat, scratch.obs_cols.data());
+  Reg msd(cfg.bits, cfg.overflow);
+  for (std::size_t j = 0; j < truth.cols(); ++j) {
+    const std::int64_t d =
+        width_sub(scratch.obs_cols[j], scratch.pred_cols[j], cfg.bits, cfg.overflow);
+    if (d != 0) ++res.nonzero_cols;
+    msd.add(d);
+  }
+  res.msd = msd.value();
+  res.col_flagged = util::abs_u64(res.msd) > cfg.msd_threshold;
+  if (cfg.two_sided) res.col_flagged = res.col_flagged || res.nonzero_cols > 0;
+
+  // Row side (two-sided only, like the reference pipeline).
+  if (cfg.two_sided) {
+    scratch.pred_rows.resize(truth.rows());
+    scratch.obs_rows.resize(truth.rows());
+    tensor::kernels::row_sums_i32_width(truth.data(), truth.rows(), truth.cols(), cfg.bits, sat,
+                                        scratch.pred_rows.data());
+    tensor::kernels::row_sums_i32_width(faulted.data(), faulted.rows(), faulted.cols(), cfg.bits,
+                                        sat, scratch.obs_rows.data());
+    for (std::size_t r = 0; r < truth.rows(); ++r) {
+      if (width_sub(scratch.obs_rows[r], scratch.pred_rows[r], cfg.bits, cfg.overflow) != 0) {
+        ++res.nonzero_rows;
+      }
+    }
+    res.row_flagged = res.nonzero_rows > 0;
+  }
+
+  res.flagged = res.col_flagged || res.row_flagged;
+  return res;
+}
+
+SaProtectedGemm::SaProtectedGemm(std::vector<DatapathConfig> datapaths,
+                                 detect::DetectionConfig reference_cfg)
+    : datapaths_(std::move(datapaths)), ref_(reference_screen_cfg(reference_cfg)) {
+  for (const auto& d : datapaths_) check_bits(d.bits);
+}
+
+void SaProtectedGemm::set_weights_quantized(tensor::MatI8 w8, tensor::QuantParams qw) {
+  ref_.set_weights_quantized(std::move(w8), qw);
+}
+
+SaRunResult SaProtectedGemm::run(const tensor::MatI8& a8, const fault::FaultInjector& injector,
+                                 util::Rng& rng) const {
+  SaRunResult result;
+  SaRunScratch scratch;
+  run_into(a8, injector, rng, result, scratch);
+  return result;
+}
+
+void SaProtectedGemm::run_into(const tensor::MatI8& a8, const fault::FaultInjector& injector,
+                               util::Rng& rng, SaRunResult& result,
+                               SaRunScratch& scratch) const {
+  if (ref_.weights().empty()) {
+    throw std::logic_error("SaProtectedGemm: set_weights_quantized() not called");
+  }
+  if (a8.cols() != ref_.weights().rows()) {
+    throw std::invalid_argument("SaProtectedGemm: activation/weight dim mismatch");
+  }
+
+  // One multiply; the fused store-phase reduction is the exact (eᵀA)·W for
+  // the reference screen (same argument as ProtectedGemm: injection perturbs
+  // the accumulator only after this line).
+  tensor::gemm_i8_prepacked(a8, ref_.weights(), ref_.weight_panels(), scratch.truth,
+                            &scratch.predicted_cols);
+  scratch.faulted = scratch.truth;  // reuses capacity on steady-state shapes
+  const fault::InjectionReport injection = injector.inject(scratch.faulted.flat(), rng,
+                                                           &result.flips);
+
+  // Ground truth is the NET effect: flips that cancel (two upsets on one bit)
+  // leave the accumulator clean, and a screen that stays quiet then must not
+  // be scored as a miss.
+  result.truth_faulty = false;
+  for (const auto& f : result.flips) {
+    const auto idx = static_cast<std::size_t>(f.index);
+    if (scratch.faulted.flat()[idx] != scratch.truth.flat()[idx]) {
+      result.truth_faulty = true;
+      break;
+    }
+  }
+
+  result.reference = detect::screen_accumulator(ref_.config(), scratch.predicted_cols, a8,
+                                                ref_.weight_row_basis(), scratch.faulted);
+  result.reference.injection = injection;
+
+  result.by_width.resize(datapaths_.size());
+  for (std::size_t i = 0; i < datapaths_.size(); ++i) {
+    result.by_width[i] = screen_into(scratch.truth, scratch.faulted, datapaths_[i], scratch.screen);
+  }
+}
+
+}  // namespace realm::sa

@@ -1,0 +1,245 @@
+#include "sa/roc.h"
+
+#include <ostream>
+#include <stdexcept>
+#include <string>
+
+#include "tensor/gemm.h"
+#include "util/threadpool.h"
+
+namespace realm::sa {
+
+namespace {
+
+/// Disjoint fork-tag spaces: cells take the low tags, per-shape weight
+/// synthesis the high ones, so no cell stream can collide with a weight
+/// stream however large the grid grows.
+constexpr std::uint64_t kWeightTagBase = 0x77e1647'00000000ULL;
+
+void validate(const SweepConfig& cfg) {
+  if (cfg.shapes.empty() || cfg.widths.empty() || cfg.bers.empty() ||
+      cfg.bit_positions.empty()) {
+    throw std::invalid_argument("run_sweep: shapes/widths/bers/bit_positions must be non-empty");
+  }
+  if (cfg.trials == 0) throw std::invalid_argument("run_sweep: trials must be >= 1");
+  for (const auto& s : cfg.shapes) {
+    if (s.m == 0 || s.n == 0 || s.k == 0 || s.k > tensor::kMaxK) {
+      throw std::invalid_argument("run_sweep: shape dims must be > 0 with k <= 2^16");
+    }
+  }
+  for (const double b : cfg.bers) {
+    if (!(b >= 0.0 && b <= 1.0)) throw std::invalid_argument("run_sweep: BER must be in [0,1]");
+  }
+  for (const int b : cfg.bit_positions) {
+    if (b < 0 || b > 31) throw std::invalid_argument("run_sweep: bit position must be in [0,31]");
+  }
+  // Width range is validated by the DatapathConfig/Reg construction below.
+}
+
+void tally(WidthTally& t, bool flagged, bool truth_faulty) {
+  if (truth_faulty) {
+    ++(flagged ? t.detected : t.missed);
+  } else if (flagged) {
+    ++t.false_pos;
+  }
+}
+
+tensor::MatI8 random_i8(std::size_t rows, std::size_t cols, util::Rng& rng) {
+  tensor::MatI8 m(rows, cols);
+  for (auto& x : m.flat()) x = static_cast<std::int8_t>(rng.uniform_int(-127, 127));
+  return m;
+}
+
+std::string rate_cell(const WidthTally& t, std::size_t faulty) {
+  return faulty == 0 ? "-" : util::TablePrinter::num(t.detection_rate(faulty), 3);
+}
+
+}  // namespace
+
+SweepResult run_sweep(const SweepConfig& cfg) {
+  validate(cfg);
+
+  std::vector<DatapathConfig> datapaths;
+  datapaths.reserve(cfg.widths.size());
+  for (const int w : cfg.widths) {
+    datapaths.push_back({w, cfg.overflow, cfg.msd_threshold, cfg.two_sided});
+  }
+
+  const util::Rng base(cfg.seed);
+
+  // One model per shape, weights synthesized from a shape-tagged stream and
+  // resident (bases + SIMD panels) for every cell of that shape.
+  std::vector<SaProtectedGemm> models;
+  models.reserve(cfg.shapes.size());
+  for (std::size_t s = 0; s < cfg.shapes.size(); ++s) {
+    detect::DetectionConfig ref_cfg;
+    ref_cfg.msd_threshold = cfg.msd_threshold;
+    ref_cfg.mode = cfg.two_sided ? detect::CheckMode::kTwoSided : detect::CheckMode::kMsdOnly;
+    models.emplace_back(datapaths, ref_cfg);
+    util::Rng wrng = base.fork(kWeightTagBase + s);
+    models[s].set_weights_quantized(random_i8(cfg.shapes[s].k, cfg.shapes[s].n, wrng),
+                                    tensor::QuantParams{0.02f});
+  }
+
+  SweepResult result;
+  result.cfg = cfg;
+  const std::size_t cell_count = cfg.shapes.size() * cfg.bit_positions.size() * cfg.bers.size();
+  result.cells.resize(cell_count);
+
+  // Cells shard over the global pool; each owns its result slot and draws
+  // from its own forked stream, so the sweep is bit-identical at any thread
+  // count (the per-cell GEMMs run inline on the worker per the nesting rule).
+  util::global_pool().parallel_for(cell_count, 1, [&](std::size_t c0, std::size_t c1) {
+    SaRunResult run;
+    SaRunScratch scratch;
+    for (std::size_t c = c0; c < c1; ++c) {
+      const std::size_t e = c % cfg.bers.size();
+      const std::size_t b = (c / cfg.bers.size()) % cfg.bit_positions.size();
+      const std::size_t s = c / (cfg.bers.size() * cfg.bit_positions.size());
+
+      CellResult& cell = result.cells[c];
+      cell.shape_index = s;
+      cell.bit = cfg.bit_positions[b];
+      cell.ber = cfg.bers[e];
+      cell.trials = cfg.trials;
+      cell.reference.bits = 64;
+      cell.widths.resize(cfg.widths.size());
+      for (std::size_t w = 0; w < cfg.widths.size(); ++w) cell.widths[w].bits = cfg.widths[w];
+
+      util::Rng rng = base.fork(c);
+      const fault::SingleBitFlipInjector injector(cell.ber, cell.bit);
+      for (std::size_t t = 0; t < cfg.trials; ++t) {
+        const tensor::MatI8 a8 = random_i8(cfg.shapes[s].m, cfg.shapes[s].k, rng);
+        models[s].run_into(a8, injector, rng, run, scratch);
+        if (run.truth_faulty) ++cell.faulty_trials;
+        tally(cell.reference, run.reference.faulty(), run.truth_faulty);
+        for (std::size_t w = 0; w < run.by_width.size(); ++w) {
+          tally(cell.widths[w], run.by_width[w].flagged, run.truth_faulty);
+        }
+      }
+    }
+  });
+  return result;
+}
+
+CoverageSummary summarize(const SweepResult& r) {
+  CoverageSummary sum;
+  sum.reference.bits = 64;
+  sum.widths.resize(r.cfg.widths.size());
+  for (std::size_t w = 0; w < r.cfg.widths.size(); ++w) sum.widths[w].bits = r.cfg.widths[w];
+  for (const CellResult& cell : r.cells) {
+    sum.trials += cell.trials;
+    sum.faulty += cell.faulty_trials;
+    sum.reference.detected += cell.reference.detected;
+    sum.reference.missed += cell.reference.missed;
+    sum.reference.false_pos += cell.reference.false_pos;
+    for (std::size_t w = 0; w < cell.widths.size(); ++w) {
+      sum.widths[w].detected += cell.widths[w].detected;
+      sum.widths[w].missed += cell.widths[w].missed;
+      sum.widths[w].false_pos += cell.widths[w].false_pos;
+    }
+  }
+  return sum;
+}
+
+util::TablePrinter critical_region_table(const SweepResult& r, std::size_t shape_index,
+                                         int bits) {
+  if (shape_index >= r.cfg.shapes.size()) {
+    throw std::invalid_argument("critical_region_table: shape_index out of range");
+  }
+  std::size_t width_index = r.cfg.widths.size();
+  if (bits != -1) {
+    for (std::size_t w = 0; w < r.cfg.widths.size(); ++w) {
+      if (r.cfg.widths[w] == bits) width_index = w;
+    }
+    if (width_index == r.cfg.widths.size()) {
+      throw std::invalid_argument("critical_region_table: width not swept");
+    }
+  }
+
+  const SweepShape& shape = r.cfg.shapes[shape_index];
+  const std::string datapath =
+      bits == -1 ? "int64 reference"
+                 : std::to_string(bits) + "-bit " + to_string(r.cfg.overflow);
+  util::TablePrinter table("critical region — detection rate, shape " + std::to_string(shape.m) +
+                           "x" + std::to_string(shape.k) + "x" + std::to_string(shape.n) + ", " +
+                           datapath);
+  std::vector<std::string> header{"bit\\ber"};
+  for (const double ber : r.cfg.bers) header.push_back(util::TablePrinter::sci(ber, 0));
+  table.header(std::move(header));
+
+  for (std::size_t b = 0; b < r.cfg.bit_positions.size(); ++b) {
+    std::vector<std::string> row{std::to_string(r.cfg.bit_positions[b])};
+    for (std::size_t e = 0; e < r.cfg.bers.size(); ++e) {
+      const std::size_t c =
+          (shape_index * r.cfg.bit_positions.size() + b) * r.cfg.bers.size() + e;
+      const CellResult& cell = r.cells[c];
+      const WidthTally& t = bits == -1 ? cell.reference : cell.widths[width_index];
+      row.push_back(rate_cell(t, cell.faulty_trials));
+    }
+    table.row(std::move(row));
+  }
+  return table;
+}
+
+void write_csv(std::ostream& os, const SweepResult& r) {
+  util::TablePrinter table;
+  table.header({"shape", "m", "k", "n", "bit", "ber", "width", "model", "trials", "faulty",
+                "detected", "missed", "false_pos", "detection_rate"});
+  const auto emit = [&](const CellResult& cell, const WidthTally& t, const char* model) {
+    const SweepShape& shape = r.cfg.shapes[cell.shape_index];
+    table.row({std::to_string(cell.shape_index), std::to_string(shape.m), std::to_string(shape.k),
+               std::to_string(shape.n), std::to_string(cell.bit),
+               util::TablePrinter::sci(cell.ber, 3), std::to_string(t.bits), model,
+               std::to_string(cell.trials), std::to_string(cell.faulty_trials),
+               std::to_string(t.detected), std::to_string(t.missed),
+               std::to_string(t.false_pos),
+               util::TablePrinter::num(t.detection_rate(cell.faulty_trials), 4)});
+  };
+  for (const CellResult& cell : r.cells) {
+    emit(cell, cell.reference, "reference");
+    for (const WidthTally& t : cell.widths) emit(cell, t, to_string(r.cfg.overflow));
+  }
+  table.print_csv(os);
+}
+
+void write_json(std::ostream& os, const SweepResult& r) {
+  const auto tally_json = [&os](const WidthTally& t, std::size_t faulty) {
+    os << "{\"bits\": " << t.bits << ", \"detected\": " << t.detected
+       << ", \"missed\": " << t.missed << ", \"false_pos\": " << t.false_pos
+       << ", \"detection_rate\": " << util::TablePrinter::num(t.detection_rate(faulty), 4) << "}";
+  };
+  os << "{\n  \"schema_version\": 1,\n";
+  os << "  \"overflow\": \"" << to_string(r.cfg.overflow) << "\",\n";
+  os << "  \"seed\": " << r.cfg.seed << ",\n";
+  os << "  \"trials_per_cell\": " << r.cfg.trials << ",\n";
+  os << "  \"msd_threshold\": " << r.cfg.msd_threshold << ",\n";
+  os << "  \"two_sided\": " << (r.cfg.two_sided ? "true" : "false") << ",\n";
+  os << "  \"shapes\": [";
+  for (std::size_t s = 0; s < r.cfg.shapes.size(); ++s) {
+    os << (s ? ", " : "") << "{\"m\": " << r.cfg.shapes[s].m << ", \"k\": " << r.cfg.shapes[s].k
+       << ", \"n\": " << r.cfg.shapes[s].n << "}";
+  }
+  os << "],\n  \"widths\": [";
+  for (std::size_t w = 0; w < r.cfg.widths.size(); ++w) {
+    os << (w ? ", " : "") << r.cfg.widths[w];
+  }
+  os << "],\n  \"cells\": [\n";
+  for (std::size_t c = 0; c < r.cells.size(); ++c) {
+    const CellResult& cell = r.cells[c];
+    os << "    {\"shape\": " << cell.shape_index << ", \"bit\": " << cell.bit
+       << ", \"ber\": " << util::TablePrinter::sci(cell.ber, 3)
+       << ", \"trials\": " << cell.trials << ", \"faulty\": " << cell.faulty_trials
+       << ", \"reference\": ";
+    tally_json(cell.reference, cell.faulty_trials);
+    os << ", \"widths\": [";
+    for (std::size_t w = 0; w < cell.widths.size(); ++w) {
+      if (w) os << ", ";
+      tally_json(cell.widths[w], cell.faulty_trials);
+    }
+    os << "]}" << (c + 1 < r.cells.size() ? "," : "") << "\n";
+  }
+  os << "  ]\n}\n";
+}
+
+}  // namespace realm::sa

@@ -1,0 +1,115 @@
+// ROC / coverage characterization harness over the reduced-width datapath
+// model (the paper's Fig. 6 critical-region map, generalized to checksum
+// width): sweep BER × flipped-bit-position × shape, run the protected GEMM
+// pipeline once per trial, screen the SAME faulted accumulator at every
+// configured checksum width plus the int64 reference, and tally detection /
+// miss / false-positive counts against injected ground truth.
+//
+// Determinism contract: cells are independent and each draws from its own
+// forked RNG stream (seed → fork(cell_index)), exactly the scheme ServeEngine
+// uses per request — results are a pure function of the config, identical at
+// every thread count (cells shard over util::global_pool(); the GEMMs inside
+// run inline on pool workers per the nesting rule). Pinned by test_roc.
+//
+// For wrap-overflow datapaths the per-trial detection events nest across
+// widths (see sa/datapath.h), so every aggregate detection count is
+// guaranteed monotone nondecreasing in width — the acceptance criterion the
+// coverage_sweep tool asserts on every run.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <vector>
+
+#include "sa/datapath.h"
+#include "util/table.h"
+
+namespace realm::sa {
+
+struct SweepShape {
+  std::size_t m = 32, k = 128, n = 128;
+};
+
+struct SweepConfig {
+  std::vector<SweepShape> shapes = {{32, 128, 128}};
+  /// Checksum register widths to screen at (each becomes a DatapathConfig).
+  std::vector<int> widths = {16, 24, 32, 64};
+  Overflow overflow = Overflow::kWrap;
+  /// Per-element probability of flipping the attacked bit (the
+  /// SingleBitFlipInjector protocol: one pinned bit position per cell).
+  std::vector<double> bers = {1e-4, 1e-3, 1e-2};
+  /// Attacked accumulator bit positions (0 = LSB … 31 = sign).
+  std::vector<int> bit_positions = {0, 8, 16, 24, 30};
+  std::size_t trials = 16;  ///< protected GEMMs per cell
+  std::uint64_t seed = 0x50c0;
+  std::uint64_t msd_threshold = 0;
+  bool two_sided = true;
+};
+
+/// Detection tallies for one datapath within one cell (or aggregated).
+struct WidthTally {
+  int bits = 0;
+  std::size_t detected = 0;   ///< ground-truth faulty and flagged
+  std::size_t missed = 0;     ///< ground-truth faulty, screened clean
+  std::size_t false_pos = 0;  ///< ground-truth clean, flagged
+
+  /// detected / faulty; 0 when no faulty trials (rates over an empty set
+  /// stay finite so tables and JSON never carry NaN).
+  [[nodiscard]] double detection_rate(std::size_t faulty) const noexcept {
+    return faulty == 0 ? 0.0 : static_cast<double>(detected) / static_cast<double>(faulty);
+  }
+
+  bool operator==(const WidthTally&) const = default;
+};
+
+/// One sweep cell: a (shape, bit position, BER) triple screened at every
+/// width over the same `trials` seeded fault draws.
+struct CellResult {
+  std::size_t shape_index = 0;
+  int bit = 0;
+  double ber = 0.0;
+  std::size_t trials = 0;
+  std::size_t faulty_trials = 0;  ///< injections whose net effect was nonzero
+  WidthTally reference;           ///< the int64 exact screen (bits = 64)
+  std::vector<WidthTally> widths;
+
+  bool operator==(const CellResult&) const = default;
+};
+
+struct SweepResult {
+  SweepConfig cfg;  ///< echo of what produced the cells
+  /// Shape-major, then bit position, then BER (the cell at
+  /// ((s * bits + b) * bers + e) covers shapes[s], bit_positions[b], bers[e]).
+  std::vector<CellResult> cells;
+};
+
+/// Run the sweep, sharding cells over util::global_pool(). Throws
+/// std::invalid_argument on an empty/degenerate config (no shapes, widths,
+/// BERs, or bit positions; trials == 0; BER outside [0,1]; bit outside
+/// [0,31]; k outside (0, tensor::kMaxK]).
+[[nodiscard]] SweepResult run_sweep(const SweepConfig& cfg);
+
+/// Aggregate totals across every cell — the coverage-vs-width curve.
+struct CoverageSummary {
+  std::size_t trials = 0;
+  std::size_t faulty = 0;
+  WidthTally reference;
+  std::vector<WidthTally> widths;  ///< same order as cfg.widths
+};
+[[nodiscard]] CoverageSummary summarize(const SweepResult& r);
+
+/// Critical-region map for one shape at one width: bit positions down, BERs
+/// across, per-cell detection rate ("-" when a cell saw no faulty trial).
+/// Pass bits == -1 for the int64 reference screen. Throws if shape_index or
+/// bits does not name a swept cell/width.
+[[nodiscard]] util::TablePrinter critical_region_table(const SweepResult& r,
+                                                       std::size_t shape_index, int bits);
+
+/// Long-format CSV through util::TablePrinter: one row per cell per datapath
+/// (reference rows carry model "reference", reduced rows "wrap"/"saturate").
+void write_csv(std::ostream& os, const SweepResult& r);
+
+/// Machine-readable record mirroring the CSV, for CI artifacts.
+void write_json(std::ostream& os, const SweepResult& r);
+
+}  // namespace realm::sa

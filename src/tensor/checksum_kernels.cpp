@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "tensor/gemm_kernels.h"
+#include "util/bitmath.h"
 #include "util/threadpool.h"
 
 #if defined(__x86_64__) || defined(__i386__)
@@ -73,6 +74,35 @@ void predict_col_portable(const std::int64_t* ea, const std::int8_t* b, std::siz
     if (av == 0) continue;
     const std::int8_t* brow = b + kk * n;
     for (std::size_t j = j0; j < j1; ++j) out[j] += av * static_cast<std::int64_t>(brow[j]);
+  }
+}
+
+/// Saturating `bits`-wide column registers, rows ascending — the pinned
+/// accumulation order of the reduced-width datapath model. Register values
+/// stay inside the `bits` rails, so sat_add_i64 never saturates at int64
+/// itself (|reg| + |int32| < 2^63 for every bits <= 64).
+void col_sums_sat_portable(const std::int32_t* m, std::size_t rows, std::size_t cols, int bits,
+                           std::size_t j0, std::size_t j1, std::int64_t* out) {
+  for (std::size_t j = j0; j < j1; ++j) out[j] = 0;
+  for (std::size_t r = 0; r < rows; ++r) {
+    const std::int32_t* row = m + r * cols;
+    for (std::size_t j = j0; j < j1; ++j) {
+      out[j] = util::clamp_to_bits(
+          util::sat_add_i64(out[j], static_cast<std::int64_t>(row[j])), bits);
+    }
+  }
+}
+
+/// Saturating `bits`-wide row registers, columns ascending.
+void row_sums_sat_portable(const std::int32_t* m, std::size_t cols, int bits, std::size_t r0,
+                           std::size_t r1, std::int64_t* out) {
+  for (std::size_t r = r0; r < r1; ++r) {
+    const std::int32_t* row = m + r * cols;
+    std::int64_t acc = 0;
+    for (std::size_t j = 0; j < cols; ++j) {
+      acc = util::clamp_to_bits(util::sat_add_i64(acc, static_cast<std::int64_t>(row[j])), bits);
+    }
+    out[r] = acc;
   }
 }
 
@@ -480,6 +510,34 @@ void row_sums_i32(const std::int32_t* m, std::size_t rows, std::size_t cols,
     (void)t;
 #endif
     row_sums_portable(m, cols, r0, r1, out);
+  });
+}
+
+void col_sums_i32_width(const std::int32_t* m, std::size_t rows, std::size_t cols, int bits,
+                        bool saturate, std::int64_t* out) {
+  if (cols == 0) return;
+  if (!saturate) {
+    // Wrap is associative (exact mod 2^bits): reduce exactly with the SIMD
+    // kernels, truncate each register value once.
+    col_sums_i32(m, rows, cols, out);
+    for (std::size_t j = 0; j < cols; ++j) out[j] = util::wrap_to_bits(out[j], bits);
+    return;
+  }
+  util::global_pool().parallel_for(cols, kColGrain, [&](std::size_t j0, std::size_t j1) {
+    col_sums_sat_portable(m, rows, cols, bits, j0, j1, out);
+  });
+}
+
+void row_sums_i32_width(const std::int32_t* m, std::size_t rows, std::size_t cols, int bits,
+                        bool saturate, std::int64_t* out) {
+  if (rows == 0) return;
+  if (!saturate) {
+    row_sums_i32(m, rows, cols, out);
+    for (std::size_t r = 0; r < rows; ++r) out[r] = util::wrap_to_bits(out[r], bits);
+    return;
+  }
+  util::global_pool().parallel_for(rows, kRowGrain, [&](std::size_t r0, std::size_t r1) {
+    row_sums_sat_portable(m, cols, bits, r0, r1, out);
   });
 }
 

@@ -40,6 +40,25 @@ void col_sums_i32(const std::int32_t* m, std::size_t rows, std::size_t cols, std
 void row_sums_i8(const std::int8_t* m, std::size_t rows, std::size_t cols, std::int64_t* out);
 void row_sums_i32(const std::int32_t* m, std::size_t rows, std::size_t cols, std::int64_t* out);
 
+/// Width-truncated i32 reductions, modeling `bits`-wide checksum registers
+/// (the realm::sa reduced-width datapath; bits is clamped to [0, 64] by the
+/// wrap/clamp helpers — 64 reproduces the exact kernels above).
+///
+///  * Wrap (saturate == false): carries out of the register drop — additions
+///    are exact mod 2^bits, which is associative, so the register equals the
+///    exact int64 sum reduced once. These ride the SIMD reductions above and
+///    truncate per output element; bit-accurate at every tier/thread count.
+///  * Saturate (saturate == true): every add clamps at the register rails.
+///    Order-dependent, so the model pins the accumulation order a
+///    weight-stationary array drains partial sums in — ascending row index
+///    for column registers, ascending column index for row registers — and
+///    runs a scalar loop, sharded like the exact kernels (each output element
+///    owned by one chunk, so still deterministic at any thread count).
+void col_sums_i32_width(const std::int32_t* m, std::size_t rows, std::size_t cols, int bits,
+                        bool saturate, std::int64_t* out);
+void row_sums_i32_width(const std::int32_t* m, std::size_t rows, std::size_t cols, int bits,
+                        bool saturate, std::int64_t* out);
+
 /// out[j] = Σ_k ea[k] · b[k][j]  (length n): the predicted column checksum
 /// (eᵀA)·B from a precomputed activation basis ea = col_sums(A) and row-major
 /// b[k x n].

@@ -69,4 +69,19 @@ namespace realm::util {
   return v > hi ? hi : (v < lo ? lo : v);
 }
 
+/// Wrap a 64-bit value into n-bit two's-complement range: keep the low n bits
+/// and sign-extend — the carries out of an n-bit register are dropped. This is
+/// the other overflow semantics a reduced-width checksum register can have
+/// (realm::sa models both); its failure mode is aliasing, where an error mass
+/// that is a multiple of 2^n screens as zero. bits >= 64 is the identity,
+/// bits <= 0 a zero-width bus (always 0).
+[[nodiscard]] constexpr std::int64_t wrap_to_bits(std::int64_t v, int bits) noexcept {
+  if (bits >= 64) return v;
+  if (bits <= 0) return 0;
+  const std::uint64_t mask = (std::uint64_t{1} << bits) - 1;
+  const std::uint64_t low = static_cast<std::uint64_t>(v) & mask;
+  const std::uint64_t sign = std::uint64_t{1} << (bits - 1);
+  return static_cast<std::int64_t>(low ^ sign) - static_cast<std::int64_t>(sign);
+}
+
 }  // namespace realm::util

@@ -6,6 +6,9 @@ namespace realm::util {
 
 double quantile(std::span<const double> xs, double q) {
   if (xs.empty()) throw std::invalid_argument("quantile: empty sample");
+  // A NaN q compares false against both clamp bounds, survives the clamp, and
+  // turns the index cast below into UB — reject it explicitly.
+  if (std::isnan(q)) throw std::invalid_argument("quantile: q is NaN");
   q = std::clamp(q, 0.0, 1.0);
   std::vector<double> copy(xs.begin(), xs.end());
   const auto idx =

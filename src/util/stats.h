@@ -14,6 +14,16 @@
 namespace realm::util {
 
 /// Welford running mean/variance with min/max tracking.
+///
+/// Edge-case contract (pinned by test_stats):
+///  * empty (count() == 0): mean(), variance(), stddev(), min(), max() all
+///    return 0.0 — never NaN or an infinity sentinel;
+///  * single sample: variance() and stddev() are 0.0 (sample variance is
+///    undefined at n == 1; 0 keeps downstream tables finite), min() == max()
+///    == mean() == the sample;
+///  * duplicate values: variance() is exactly 0.0 (the Welford update adds
+///    delta * (x - mean_) == 0 each step — no catastrophic cancellation);
+///  * merge() with an empty side is the identity in either direction.
 class RunningStat {
  public:
   void add(double x) noexcept {
@@ -90,7 +100,18 @@ class Histogram {
   std::uint64_t total_ = 0;
 };
 
-/// Exact quantile of a sample (copies + nth_element; fine for eval-sized data).
+/// Exact quantile of a sample (copies + nth_element; fine for eval-sized
+/// data), using the nearest-rank index round(q * (n - 1)).
+///
+/// Edge-case contract (pinned by test_stats):
+///  * empty input throws std::invalid_argument — there is no defensible
+///    value, and returning a sentinel would poison percentile tables;
+///  * NaN q throws std::invalid_argument (a NaN would otherwise slip through
+///    clamping and index-cast into UB);
+///  * q outside [0, 1] clamps to the nearest bound, so q == 0 / q == 1 are
+///    exactly min / max;
+///  * a single-sample input returns that sample for every q;
+///  * duplicate values are fine — nth_element handles ties.
 [[nodiscard]] double quantile(std::span<const double> xs, double q);
 
 /// Ordinary least squares fit y = slope*x + intercept. Returns {slope,

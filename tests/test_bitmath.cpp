@@ -49,4 +49,31 @@ REALM_TEST(ilog2_values) {
   REALM_CHECK_EQ(ilog2_abs(INT64_MIN), 63);
 }
 
+// wrap_to_bits drops carries and sign-extends — the two's-complement register
+// model of realm::sa. Total over bits like clamp_to_bits.
+static_assert(wrap_to_bits(INT64_MAX, 64) == INT64_MAX);
+static_assert(wrap_to_bits(INT64_MIN, 64) == INT64_MIN);
+static_assert(wrap_to_bits(12345, 0) == 0);
+static_assert(wrap_to_bits(-12345, -7) == 0);
+static_assert(wrap_to_bits(1, 1) == -1);  // 1-bit register: 1 aliases to -1
+static_assert(wrap_to_bits(2, 1) == 0);
+
+REALM_TEST(wrap_to_bits_aliases_and_sign_extends) {
+  // The aliasing failure mode: any multiple of 2^bits reads as exactly 0.
+  REALM_CHECK_EQ(wrap_to_bits(1 << 16, 16), std::int64_t{0});
+  REALM_CHECK_EQ(wrap_to_bits(std::int64_t{5} << 16, 16), std::int64_t{0});
+  REALM_CHECK_EQ(wrap_to_bits(-(std::int64_t{3} << 16), 16), std::int64_t{0});
+  // In-range values pass through, including negatives.
+  REALM_CHECK_EQ(wrap_to_bits(32767, 16), std::int64_t{32767});
+  REALM_CHECK_EQ(wrap_to_bits(-32768, 16), std::int64_t{-32768});
+  REALM_CHECK_EQ(wrap_to_bits(-1, 16), std::int64_t{-1});
+  // Overflow wraps to the opposite sign instead of clamping.
+  REALM_CHECK_EQ(wrap_to_bits(32768, 16), std::int64_t{-32768});
+  REALM_CHECK_EQ(wrap_to_bits(32773, 16), std::int64_t{-32763});
+  REALM_CHECK_EQ(wrap_to_bits(-32769, 16), std::int64_t{32767});
+  // Wide registers: bit 62 survives a 63-bit register, dies in a 62-bit one.
+  REALM_CHECK_EQ(wrap_to_bits(std::int64_t{1} << 62, 63), INT64_MIN >> 1);
+  REALM_CHECK_EQ(wrap_to_bits(std::int64_t{1} << 62, 62), std::int64_t{0});
+}
+
 REALM_TEST_MAIN()

@@ -6,6 +6,7 @@
 
 #include "detect/detect.h"
 #include "realm_test.h"
+#include "sa/datapath.h"
 #include "tensor/checksum.h"
 #include "tensor/gemm.h"
 #include "tensor/gemm_kernels.h"
@@ -267,6 +268,45 @@ REALM_TEST(sharded_screen_deterministic_across_thread_counts) {
       REALM_CHECK(fused == want_fused);
     }
     realm::util::set_global_threads(1);
+  }
+}
+
+REALM_TEST(width_truncated_sums_match_register_model) {
+  // The width kernels must equal a literal simulation of `bits`-wide
+  // registers fed one element at a time in the pinned accumulation order —
+  // at every tier (wrap rides the SIMD reductions) and for both semantics.
+  realm::util::Rng rng(0x3d1);
+  TierGuard guard;
+  for (const Tier tier : supported_tiers()) {
+    kernels::set_active_tier(tier);
+    for (const auto& [rows, cols] : {std::pair<std::size_t, std::size_t>{7, 13},
+                                     {64, 33},
+                                     {257, 17}}) {
+      const MatI32 m = random_i32_full_range(rows, cols, rng);
+      for (const int bits : {8, 16, 31, 64}) {
+        for (const bool saturate : {false, true}) {
+          std::vector<std::int64_t> cols_out(cols), rows_out(rows);
+          kernels::col_sums_i32_width(m.data(), rows, cols, bits, saturate, cols_out.data());
+          kernels::row_sums_i32_width(m.data(), rows, cols, bits, saturate, rows_out.data());
+          const auto overflow =
+              saturate ? realm::sa::Overflow::kSaturate : realm::sa::Overflow::kWrap;
+          for (std::size_t j = 0; j < cols; ++j) {
+            realm::sa::Reg reg(bits, overflow);
+            for (std::size_t r = 0; r < rows; ++r) reg.add(m(r, j));
+            REALM_CHECK_EQ(cols_out[j], reg.value());
+          }
+          for (std::size_t r = 0; r < rows; ++r) {
+            realm::sa::Reg reg(bits, overflow);
+            for (std::size_t j = 0; j < cols; ++j) reg.add(m(r, j));
+            REALM_CHECK_EQ(rows_out[r], reg.value());
+          }
+        }
+      }
+      // At 64 bits both semantics reduce to the exact kernels.
+      std::vector<std::int64_t> wide(cols);
+      kernels::col_sums_i32_width(m.data(), rows, cols, 64, false, wide.data());
+      REALM_CHECK(wide == ref_col_sums(m));
+    }
   }
 }
 

@@ -5,6 +5,7 @@
 #include <stdexcept>
 
 #include "realm_test.h"
+#include "tensor/checksum.h"
 #include "tensor/gemm.h"
 #include "tensor/gemm_kernels.h"
 #include "tensor/quant.h"
@@ -178,7 +179,9 @@ namespace {
 class CancellingPairInjector final : public FaultInjector {
  public:
   explicit CancellingPairInjector(std::size_t stride) : stride_(stride) {}
-  InjectionReport inject(std::span<std::int32_t> data, realm::util::Rng&) const override {
+  InjectionReport inject(std::span<std::int32_t> data, realm::util::Rng&,
+                         std::vector<realm::fault::FlipRecord>* record) const override {
+    if (record != nullptr) record->clear();
     data[0] += 1 << 20;        // element (0, 0)
     data[stride_] -= 1 << 20;  // element (1, 0)
     return {.flipped_bits = 2, .corrupted_values = 2};
@@ -201,6 +204,51 @@ REALM_TEST(column_cancelling_fault_caught_by_rows) {
   REALM_CHECK(r.report.fault_cols.empty());
   REALM_CHECK_EQ(r.report.fault_rows.size(), std::size_t{2});
   REALM_CHECK(r.report.verdict == Verdict::kCorrected);  // rows flag + recompute
+}
+
+REALM_TEST(screen_accumulator_matches_pipeline_verdict) {
+  // The exposed screen is the SAME code path the pipeline runs internally:
+  // re-screening a run's accumulator with the recomputed predicted checksum
+  // must reproduce the pipeline's verdict field for field (sans injection) —
+  // the contract the realm::sa reference comparison stands on.
+  Rng rng(42);
+  DetectionConfig cfg;
+  cfg.recompute_on_detect = false;  // keep the faulted accumulator visible
+  ProtectedGemm pg = make_pg(32, 24, rng, cfg);
+  const MatF a = random_f32(8, 32, rng);
+  const QuantParams qa = calibrate(a.flat());
+  const MatI8 a8 = quantize(a, qa);
+
+  for (const std::int64_t mag : {std::int64_t{0}, std::int64_t{1} << 18}) {
+    const NullInjector none;
+    const MagFreqInjector inj(1 << 18, 2);
+    const FaultInjector& active = mag == 0 ? static_cast<const FaultInjector&>(none) : inj;
+    const ProtectedGemmResult r = pg.run_quantized(a8, qa, active, rng);
+
+    const std::vector<std::int64_t> predicted = predict_col_checksum(a8, pg.weights());
+    const DetectionVerdict v =
+        screen_accumulator(pg.config(), predicted, a8, pg.weight_row_basis(), r.acc);
+    REALM_CHECK(v.verdict == r.report.verdict);
+    REALM_CHECK_EQ(v.msd_signed, r.report.msd_signed);
+    REALM_CHECK_EQ(v.msd_abs, r.report.msd_abs);
+    REALM_CHECK_EQ(v.l1, r.report.l1);
+    REALM_CHECK_EQ(v.max_dev_pow2, r.report.max_dev_pow2);
+    REALM_CHECK(v.fault_cols == r.report.fault_cols);
+    REALM_CHECK(v.fault_rows == r.report.fault_rows);
+  }
+
+  // A corrected pipeline run re-screens clean: the standalone screen on its
+  // (recomputed) accumulator must agree.
+  DetectionConfig fix;
+  ProtectedGemm pg_fix(fix);
+  pg_fix.set_weights_quantized(pg.weights(), pg.weight_params());
+  const ProtectedGemmResult corrected =
+      pg_fix.run_quantized(a8, qa, MagFreqInjector(1 << 18, 2), rng);
+  REALM_CHECK(corrected.report.verdict == Verdict::kCorrected);
+  const std::vector<std::int64_t> predicted = predict_col_checksum(a8, pg_fix.weights());
+  REALM_CHECK(screen_accumulator(pg_fix.config(), predicted, a8, pg_fix.weight_row_basis(),
+                                 corrected.acc)
+                  .verdict == Verdict::kClean);
 }
 
 REALM_TEST(detect_roc_over_random_bitflips) {
@@ -230,7 +278,9 @@ namespace {
 class OneBitFlipAt final : public FaultInjector {
  public:
   OneBitFlipAt(std::size_t index, int bit) : index_(index), bit_(bit) {}
-  InjectionReport inject(std::span<std::int32_t> data, realm::util::Rng&) const override {
+  InjectionReport inject(std::span<std::int32_t> data, realm::util::Rng&,
+                         std::vector<realm::fault::FlipRecord>* record) const override {
+    if (record != nullptr) record->clear();
     data[index_] ^= std::int32_t{1} << bit_;
     return {.flipped_bits = 1, .corrupted_values = 1};
   }

@@ -66,6 +66,63 @@ REALM_TEST(magfreq_exact_error_mass) {
   REALM_CHECK_EQ(rep2.corrupted_values, std::uint64_t{3});
 }
 
+REALM_TEST(flip_records_capture_exact_bits_and_values) {
+  // Replaying records in reverse (writing each `before` back) must restore
+  // the original tensor exactly — the reconstruction contract the realm::sa
+  // ground-truth comparator relies on, valid even when flips collide.
+  Rng rng(21);
+  std::vector<std::int32_t> data(1024);
+  for (auto& v : data) v = static_cast<std::int32_t>(rng.uniform_int(-100000, 100000));
+  const std::vector<std::int32_t> original = data;
+
+  const RandomBitFlipInjector inj(0.01, 0, 31);
+  std::vector<FlipRecord> record;
+  const InjectionReport rep = inj.inject(data, rng, &record);
+  REALM_CHECK(rep.flipped_bits > 0);
+  REALM_CHECK_EQ(record.size(), rep.flipped_bits);
+  for (const FlipRecord& f : record) {
+    REALM_CHECK(f.bit >= 0 && f.bit <= 31);
+    REALM_CHECK_EQ(static_cast<std::uint32_t>(f.after),
+                   static_cast<std::uint32_t>(f.before) ^ (1u << f.bit));
+  }
+  for (auto it = record.rbegin(); it != record.rend(); ++it) {
+    REALM_CHECK_EQ(data[it->index], it->after);  // records are in application order
+    data[it->index] = it->before;
+  }
+  REALM_CHECK(data == original);
+
+  // Same seed, with and without recording: identical mutations (recording
+  // must not consume extra randomness).
+  std::vector<std::int32_t> a = original, b = original;
+  Rng r1(77), r2(77);
+  inj.inject(a, r1, &record);
+  inj.inject(b, r2);
+  REALM_CHECK(a == b);
+
+  // The single-bit protocol pins every record to its bit; the magnitude model
+  // records kAdditiveBit and the exact pre/post values.
+  std::vector<std::int32_t> sb(256, 5);
+  const SingleBitFlipInjector single(0.3, 30);
+  single.inject(sb, r1, &record);
+  REALM_CHECK(!record.empty());
+  for (const FlipRecord& f : record) REALM_CHECK_EQ(f.bit, std::int8_t{30});
+
+  std::vector<std::int32_t> mf(256, 17);
+  const MagFreqInjector mag(1 << 12, 5);
+  mag.inject(mf, r1, &record);
+  REALM_CHECK_EQ(record.size(), std::size_t{5});
+  for (const FlipRecord& f : record) {
+    REALM_CHECK_EQ(f.bit, FlipRecord::kAdditiveBit);
+    REALM_CHECK_EQ(f.before, std::int32_t{17});
+    REALM_CHECK_EQ(f.after, std::int32_t{17 + (1 << 12)});
+  }
+
+  // A previous record list is cleared, not appended to, even by a no-op pass.
+  NullInjector none;
+  none.inject(mf, r1, &record);
+  REALM_CHECK(record.empty());
+}
+
 REALM_TEST(random_bitflip_respects_bit_range) {
   const RandomBitFlipInjector inj(0.05, 8, 15);
   std::vector<std::int32_t> data(2048, 0);

@@ -1,0 +1,147 @@
+#include "sa/roc.h"
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+#include "realm_test.h"
+#include "util/threadpool.h"
+
+using namespace realm;
+using realm::sa::SweepConfig;
+using realm::sa::SweepResult;
+
+namespace {
+
+/// Tiny grid that still spans the interesting physics: a low bit every width
+/// catches, the 2^16 aliasing bit, the high-bit regime, and a BER-0 column
+/// (ground-truth clean — any flag there is a false positive).
+SweepConfig tiny_config() {
+  SweepConfig cfg;
+  cfg.shapes = {{8, 32, 48}};
+  cfg.widths = {16, 32, 64};
+  cfg.overflow = sa::Overflow::kWrap;
+  cfg.bers = {0.0, 0.02};
+  cfg.bit_positions = {4, 16, 30};
+  cfg.trials = 5;
+  cfg.seed = 0xabc1;
+  return cfg;
+}
+
+/// Restores the serial default even when a REALM_CHECK throws mid-case.
+struct SerialGuard {
+  ~SerialGuard() { util::set_global_threads(1); }
+};
+
+}  // namespace
+
+REALM_TEST(sweep_deterministic_across_thread_counts) {
+  // Per-cell forked RNG streams: the sweep is a pure function of its config,
+  // bit-identical however the cells shard over the pool.
+  SerialGuard guard;
+  const SweepConfig cfg = tiny_config();
+  util::set_global_threads(1);
+  const SweepResult serial = sa::run_sweep(cfg);
+  for (const std::size_t threads : {std::size_t{2}, std::size_t{8}}) {
+    util::set_global_threads(threads);
+    const SweepResult threaded = sa::run_sweep(cfg);
+    REALM_CHECK_EQ(threaded.cells.size(), serial.cells.size());
+    for (std::size_t c = 0; c < serial.cells.size(); ++c) {
+      REALM_CHECK(threaded.cells[c] == serial.cells[c]);
+    }
+  }
+}
+
+REALM_TEST(coverage_monotone_in_width_with_consistent_counts) {
+  const SweepResult r = sa::run_sweep(tiny_config());
+  REALM_CHECK_EQ(r.cells.size(), std::size_t{6});  // 1 shape x 3 bits x 2 BERs
+
+  for (const sa::CellResult& cell : r.cells) {
+    // Tally identities: every faulty trial is either detected or missed, and
+    // false positives can only come from clean trials.
+    REALM_CHECK_EQ(cell.reference.detected + cell.reference.missed, cell.faulty_trials);
+    REALM_CHECK(cell.reference.false_pos <= cell.trials - cell.faulty_trials);
+    for (const sa::WidthTally& t : cell.widths) {
+      REALM_CHECK_EQ(t.detected + t.missed, cell.faulty_trials);
+      REALM_CHECK(t.false_pos <= cell.trials - cell.faulty_trials);
+    }
+    // Wrap detections nest: per cell, width 16 <= 32 <= 64 == reference.
+    REALM_CHECK(cell.widths[0].detected <= cell.widths[1].detected);
+    REALM_CHECK(cell.widths[1].detected <= cell.widths[2].detected);
+    REALM_CHECK(cell.widths[2] == cell.reference);  // wrap-64 ≡ the int64 screen
+    // Exact checksums: zero false positives at every width, reference too.
+    REALM_CHECK_EQ(cell.reference.false_pos, std::size_t{0});
+    for (const sa::WidthTally& t : cell.widths) REALM_CHECK_EQ(t.false_pos, std::size_t{0});
+    // The BER-0 column is ground-truth clean everywhere.
+    if (cell.ber == 0.0) REALM_CHECK_EQ(cell.faulty_trials, std::size_t{0});
+  }
+
+  const sa::CoverageSummary sum = sa::summarize(r);
+  REALM_CHECK_EQ(sum.trials, std::size_t{30});
+  REALM_CHECK(sum.faulty > 0);
+  REALM_CHECK(sum.widths[0].detected <= sum.widths[1].detected);
+  REALM_CHECK(sum.widths[1].detected <= sum.widths[2].detected);
+  REALM_CHECK_EQ(sum.widths[2].detected, sum.reference.detected);
+  REALM_CHECK_EQ(sum.reference.detected, sum.faulty);  // int64 catches everything here
+
+  // Single flips of bit >= 16 alias to 0 mod 2^16: the width-16 datapath must
+  // show real coverage loss on the bit-16 and bit-30 rows while width 32
+  // stays perfect — the monotone curve is strict, not vacuous.
+  REALM_CHECK(sum.widths[0].missed > 0);
+  REALM_CHECK_EQ(sum.widths[1].missed, std::size_t{0});
+}
+
+REALM_TEST(csv_and_json_emission) {
+  const SweepResult r = sa::run_sweep(tiny_config());
+
+  std::ostringstream csv;
+  sa::write_csv(csv, r);
+  const std::string csv_text = csv.str();
+  std::size_t lines = 0;
+  for (const char ch : csv_text) lines += ch == '\n' ? 1 : 0;
+  // Header + one row per cell per datapath (reference + 3 widths).
+  REALM_CHECK_EQ(lines, 1 + r.cells.size() * 4);
+  REALM_CHECK(csv_text.starts_with("shape,m,k,n,bit,ber,width,model,"));
+  REALM_CHECK(csv_text.find(",reference,") != std::string::npos);
+  REALM_CHECK(csv_text.find(",wrap,") != std::string::npos);
+
+  std::ostringstream json;
+  sa::write_json(json, r);
+  const std::string json_text = json.str();
+  REALM_CHECK(json_text.find("\"schema_version\": 1") != std::string::npos);
+  REALM_CHECK(json_text.find("\"overflow\": \"wrap\"") != std::string::npos);
+  REALM_CHECK(json_text.find("\"widths\": [16, 32, 64]") != std::string::npos);
+  REALM_CHECK(json_text.find("\"detection_rate\"") != std::string::npos);
+
+  // The critical-region table has one row per bit position and one column
+  // per BER, for swept widths and the reference alike.
+  const util::TablePrinter table = sa::critical_region_table(r, 0, 16);
+  REALM_CHECK_EQ(table.row_count(), r.cfg.bit_positions.size());
+  const util::TablePrinter ref_table = sa::critical_region_table(r, 0, -1);
+  REALM_CHECK_EQ(ref_table.row_count(), r.cfg.bit_positions.size());
+  REALM_CHECK_THROWS(sa::critical_region_table(r, 7, 16), std::invalid_argument);
+  REALM_CHECK_THROWS(sa::critical_region_table(r, 0, 17), std::invalid_argument);
+}
+
+REALM_TEST(degenerate_configs_are_rejected) {
+  SweepConfig cfg = tiny_config();
+  cfg.trials = 0;
+  REALM_CHECK_THROWS(sa::run_sweep(cfg), std::invalid_argument);
+  cfg = tiny_config();
+  cfg.widths.clear();
+  REALM_CHECK_THROWS(sa::run_sweep(cfg), std::invalid_argument);
+  cfg = tiny_config();
+  cfg.bers = {1.5};
+  REALM_CHECK_THROWS(sa::run_sweep(cfg), std::invalid_argument);
+  cfg = tiny_config();
+  cfg.bit_positions = {32};
+  REALM_CHECK_THROWS(sa::run_sweep(cfg), std::invalid_argument);
+  cfg = tiny_config();
+  cfg.shapes = {{8, 0, 8}};
+  REALM_CHECK_THROWS(sa::run_sweep(cfg), std::invalid_argument);
+  cfg = tiny_config();
+  cfg.widths = {0};
+  REALM_CHECK_THROWS(sa::run_sweep(cfg), std::invalid_argument);
+}
+
+REALM_TEST_MAIN()

@@ -1,0 +1,95 @@
+#include "util/stats.h"
+
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+#include <vector>
+
+#include "realm_test.h"
+
+using namespace realm::util;
+
+REALM_TEST(quantile_contract_edges) {
+  // Single sample: every q returns it (including the clamped out-of-range qs).
+  const std::vector<double> one{42.0};
+  REALM_CHECK_EQ(quantile(one, 0.0), 42.0);
+  REALM_CHECK_EQ(quantile(one, 0.5), 42.0);
+  REALM_CHECK_EQ(quantile(one, 1.0), 42.0);
+  REALM_CHECK_EQ(quantile(one, -3.0), 42.0);
+  REALM_CHECK_EQ(quantile(one, 7.0), 42.0);
+
+  // q == 0 / q == 1 are exactly min / max; duplicates tie-break harmlessly.
+  const std::vector<double> xs{5.0, 1.0, 5.0, 3.0, 5.0, 2.0};
+  REALM_CHECK_EQ(quantile(xs, 0.0), 1.0);
+  REALM_CHECK_EQ(quantile(xs, 1.0), 5.0);
+  REALM_CHECK_EQ(quantile(xs, 0.5), 5.0);  // nearest rank round(0.5 * 5) = index 3
+  REALM_CHECK_EQ(quantile(xs, 0.4), 3.0);  // round(0.4 * 5) = index 2
+  const std::vector<double> dup(9, 2.5);
+  REALM_CHECK_EQ(quantile(dup, 0.25), 2.5);
+  REALM_CHECK_EQ(quantile(dup, 0.99), 2.5);
+
+  // Degenerate inputs throw instead of poisoning percentile tables.
+  REALM_CHECK_THROWS(quantile(std::vector<double>{}, 0.5), std::invalid_argument);
+  REALM_CHECK_THROWS(quantile(one, std::numeric_limits<double>::quiet_NaN()),
+                     std::invalid_argument);
+}
+
+REALM_TEST(running_stat_edge_cases) {
+  // Empty: all accessors are 0.0, never NaN or an infinity sentinel.
+  RunningStat empty;
+  REALM_CHECK_EQ(empty.count(), std::size_t{0});
+  REALM_CHECK_EQ(empty.mean(), 0.0);
+  REALM_CHECK_EQ(empty.variance(), 0.0);
+  REALM_CHECK_EQ(empty.stddev(), 0.0);
+  REALM_CHECK_EQ(empty.min(), 0.0);
+  REALM_CHECK_EQ(empty.max(), 0.0);
+
+  // Single sample: variance 0 (not NaN from n-1 == 0), min == max == mean.
+  RunningStat one;
+  one.add(-7.5);
+  REALM_CHECK_EQ(one.count(), std::size_t{1});
+  REALM_CHECK_EQ(one.mean(), -7.5);
+  REALM_CHECK_EQ(one.variance(), 0.0);
+  REALM_CHECK_EQ(one.min(), -7.5);
+  REALM_CHECK_EQ(one.max(), -7.5);
+
+  // Duplicates: exactly zero variance (the Welford delta is 0 each step).
+  RunningStat dup;
+  for (int i = 0; i < 1000; ++i) dup.add(3.25);
+  REALM_CHECK_EQ(dup.mean(), 3.25);
+  REALM_CHECK_EQ(dup.variance(), 0.0);
+}
+
+REALM_TEST(running_stat_merge_identities) {
+  RunningStat a;
+  for (const double x : {1.0, 2.0, 3.0, 10.0}) a.add(x);
+
+  // Merging an empty side is the identity in either direction.
+  RunningStat empty;
+  RunningStat a_copy = a;
+  a_copy.merge(empty);
+  REALM_CHECK_EQ(a_copy.count(), a.count());
+  REALM_CHECK_EQ(a_copy.mean(), a.mean());
+  REALM_CHECK_EQ(a_copy.variance(), a.variance());
+  RunningStat from_empty;
+  from_empty.merge(a);
+  REALM_CHECK_EQ(from_empty.count(), a.count());
+  REALM_CHECK_EQ(from_empty.mean(), a.mean());
+  REALM_CHECK_EQ(from_empty.max(), 10.0);
+
+  // Merged halves match the single-pass stream (Chan's parallel update).
+  RunningStat lo, hi, all;
+  const std::vector<double> xs{0.5, -2.0, 4.0, 4.0, 9.5, -1.25, 3.0, 8.0};
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    (i < xs.size() / 2 ? lo : hi).add(xs[i]);
+    all.add(xs[i]);
+  }
+  lo.merge(hi);
+  REALM_CHECK_EQ(lo.count(), all.count());
+  REALM_CHECK(std::abs(lo.mean() - all.mean()) < 1e-12);
+  REALM_CHECK(std::abs(lo.variance() - all.variance()) < 1e-12);
+  REALM_CHECK_EQ(lo.min(), all.min());
+  REALM_CHECK_EQ(lo.max(), all.max());
+}
+
+REALM_TEST_MAIN()

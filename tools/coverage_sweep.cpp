@@ -1,0 +1,214 @@
+// Coverage / ROC characterization driver over the realm::sa reduced-width
+// datapath model: sweeps BER × flipped-bit-position × shape, screens every
+// seeded fault draw at each checksum width plus the int64 reference, prints
+// the per-width critical-region maps (Fig. 6 axes) and the coverage-vs-width
+// summary, and optionally writes CSV/JSON records for CI artifacts.
+//
+// Exits nonzero if a wrap-overflow sweep produces a non-monotone coverage
+// curve (detected at width w must never exceed detected at width w' > w —
+// guaranteed by the nesting argument in sa/datapath.h, so a violation means
+// the model itself regressed). CI runs `--smoke` on every push.
+#include <algorithm>
+#include <cstdint>
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "sa/roc.h"
+#include "util/stats.h"
+#include "util/table.h"
+#include "util/threadpool.h"
+
+namespace {
+
+int usage() {
+  std::cerr
+      << "usage: coverage_sweep [--smoke] [--csv FILE] [--json FILE] [--threads N]\n"
+         "                      [--trials N] [--seed S] [--widths W1,W2,...]\n"
+         "                      [--overflow wrap|saturate] [--msd-only]\n"
+         "  --smoke      tiny fixed grid (one shape, 3x2 cells, 3 widths) for CI\n"
+         "  --csv FILE   long-format per-cell record (one row per cell per datapath)\n"
+         "  --json FILE  machine-readable record of the same cells\n"
+         "  --threads N  shard sweep cells over N threads (default 1; deterministic\n"
+         "               at any count — per-cell forked RNG streams)\n"
+         "  --trials N   protected GEMMs per cell (default: 24, smoke 6)\n"
+         "  --seed S     base RNG seed (default fixed; the sweep is reproducible)\n"
+         "  --widths     checksum register widths to screen at (default 16,24,32,64)\n"
+         "  --overflow   register overflow semantics (default wrap; wrap sweeps also\n"
+         "               assert the monotone coverage curve)\n"
+         "  --msd-only   one-sided screen (MSD threshold only, no row/column check)\n";
+  return 2;
+}
+
+std::vector<int> parse_int_list(const std::string& s) {
+  std::vector<int> out;
+  std::size_t pos = 0;
+  while (pos < s.size()) {
+    const std::size_t comma = s.find(',', pos);
+    const std::string tok = s.substr(pos, comma == std::string::npos ? comma : comma - pos);
+    if (!tok.empty()) out.push_back(static_cast<int>(std::strtol(tok.c_str(), nullptr, 10)));
+    if (comma == std::string::npos) break;
+    pos = comma + 1;
+  }
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool smoke = false;
+  std::string csv_path, json_path;
+  long threads = 1;
+  std::size_t trials = 0;  // 0 = mode default
+  std::uint64_t seed = 0;  // 0 = config default
+  std::vector<int> widths;
+  realm::sa::Overflow overflow = realm::sa::Overflow::kWrap;
+  bool msd_only = false;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--smoke") {
+      smoke = true;
+    } else if (arg == "--csv" && i + 1 < argc) {
+      csv_path = argv[++i];
+    } else if (arg == "--json" && i + 1 < argc) {
+      json_path = argv[++i];
+    } else if (arg == "--threads" && i + 1 < argc) {
+      threads = std::strtol(argv[++i], nullptr, 10);
+      if (threads < 1) return usage();
+    } else if (arg == "--trials" && i + 1 < argc) {
+      trials = static_cast<std::size_t>(std::strtoul(argv[++i], nullptr, 10));
+      if (trials == 0) return usage();
+    } else if (arg == "--seed" && i + 1 < argc) {
+      seed = std::strtoull(argv[++i], nullptr, 0);
+    } else if (arg == "--widths" && i + 1 < argc) {
+      widths = parse_int_list(argv[++i]);
+      if (widths.empty()) return usage();
+    } else if (arg == "--overflow" && i + 1 < argc) {
+      const std::string o = argv[++i];
+      if (o == "wrap") {
+        overflow = realm::sa::Overflow::kWrap;
+      } else if (o == "saturate") {
+        overflow = realm::sa::Overflow::kSaturate;
+      } else {
+        return usage();
+      }
+    } else if (arg == "--msd-only") {
+      msd_only = true;
+    } else {
+      return usage();
+    }
+  }
+  realm::util::set_global_threads(static_cast<std::size_t>(threads));
+
+  realm::sa::SweepConfig cfg;
+  if (smoke) {
+    // Tiny fixed grid: fast enough for the sanitizer CI leg, still covering
+    // a low bit (always caught), the 2^16 aliasing bit, and a high bit.
+    cfg.shapes = {{16, 64, 96}};
+    cfg.bers = {1e-3, 1e-2};
+    cfg.bit_positions = {8, 16, 30};
+    cfg.widths = {16, 32, 64};
+    cfg.trials = 6;
+  } else {
+    cfg.shapes = {{32, 128, 256}, {64, 256, 256}};
+    cfg.bers = {1e-5, 1e-4, 1e-3, 1e-2};
+    cfg.bit_positions = {0, 4, 8, 12, 16, 20, 24, 28, 30, 31};
+    cfg.trials = 24;
+  }
+  if (trials != 0) cfg.trials = trials;
+  if (seed != 0) cfg.seed = seed;
+  if (!widths.empty()) cfg.widths = widths;
+  cfg.overflow = overflow;
+  cfg.two_sided = !msd_only;
+
+  realm::sa::SweepResult result;
+  try {
+    result = realm::sa::run_sweep(cfg);
+  } catch (const std::exception& e) {
+    std::cerr << "coverage_sweep: " << e.what() << "\n";
+    return 2;
+  }
+
+  // Per-shape critical-region maps: narrowest width first, reference last,
+  // so the coverage the narrow datapath loses reads top to bottom.
+  for (std::size_t s = 0; s < cfg.shapes.size(); ++s) {
+    for (const int w : cfg.widths) {
+      realm::sa::critical_region_table(result, s, w).print(std::cout);
+    }
+    realm::sa::critical_region_table(result, s, -1).print(std::cout);
+  }
+
+  // Coverage-vs-width summary, with per-cell detection-rate spread (the
+  // RunningStat min/max shows whether a width is uniformly good or only good
+  // away from the critical region).
+  const realm::sa::CoverageSummary sum = realm::sa::summarize(result);
+  realm::util::TablePrinter summary(
+      std::string("coverage by checksum width (") + realm::sa::to_string(cfg.overflow) +
+      ", trials=" + std::to_string(sum.trials) + ", faulty=" + std::to_string(sum.faulty) + ")");
+  summary.header({"width", "detected", "missed", "false_pos", "coverage", "cell_min",
+                  "cell_max"});
+  const auto summary_row = [&](const realm::sa::WidthTally& t, bool reference) {
+    realm::util::RunningStat cell_rates;
+    for (const realm::sa::CellResult& cell : result.cells) {
+      if (cell.faulty_trials == 0) continue;
+      std::size_t w = 0;
+      const realm::sa::WidthTally* ct = &cell.reference;
+      if (!reference) {
+        while (cell.widths[w].bits != t.bits) ++w;
+        ct = &cell.widths[w];
+      }
+      cell_rates.add(ct->detection_rate(cell.faulty_trials));
+    }
+    summary.row({reference ? "int64 ref" : std::to_string(t.bits),
+                 std::to_string(t.detected), std::to_string(t.missed),
+                 std::to_string(t.false_pos),
+                 realm::util::TablePrinter::pct(t.detection_rate(sum.faulty), 1),
+                 realm::util::TablePrinter::num(cell_rates.min(), 3),
+                 realm::util::TablePrinter::num(cell_rates.max(), 3)});
+  };
+  for (const realm::sa::WidthTally& t : sum.widths) summary_row(t, false);
+  summary_row(sum.reference, true);
+  summary.print(std::cout);
+
+  if (!csv_path.empty()) {
+    std::ofstream os(csv_path);
+    if (!os) {
+      std::cerr << "coverage_sweep: cannot write " << csv_path << "\n";
+      return 1;
+    }
+    realm::sa::write_csv(os, result);
+  }
+  if (!json_path.empty()) {
+    std::ofstream os(json_path);
+    if (!os) {
+      std::cerr << "coverage_sweep: cannot write " << json_path << "\n";
+      return 1;
+    }
+    realm::sa::write_json(os, result);
+  }
+
+  // Wrap detections nest across widths (sa/datapath.h), so the aggregate
+  // curve must be monotone; a violation can only mean the model regressed.
+  if (cfg.overflow == realm::sa::Overflow::kWrap) {
+    std::vector<realm::sa::WidthTally> ordered = sum.widths;
+    std::sort(ordered.begin(), ordered.end(),
+              [](const auto& a, const auto& b) { return a.bits < b.bits; });
+    for (std::size_t w = 1; w < ordered.size(); ++w) {
+      if (ordered[w].detected < ordered[w - 1].detected) {
+        std::cerr << "coverage_sweep: NON-MONOTONE coverage: width " << ordered[w].bits
+                  << " detected " << ordered[w].detected << " < width " << ordered[w - 1].bits
+                  << " detected " << ordered[w - 1].detected << "\n";
+        return 1;
+      }
+    }
+    if (!ordered.empty() && sum.reference.detected < ordered.back().detected) {
+      std::cerr << "coverage_sweep: reference screen detected less than width "
+                << ordered.back().bits << "\n";
+      return 1;
+    }
+  }
+  return 0;
+}
