@@ -184,7 +184,7 @@ void write_json(const std::string& path, const std::vector<ShapeResult>& results
   std::ofstream os(path);
   if (!os) {
     std::cerr << "protected_gemm_bench: cannot write " << path << "\n";
-    std::exit(1);
+    std::exit(1);  // NOLINT(concurrency-mt-unsafe) — single-threaded CLI error path
   }
   os << "{\n";
   os << "  \"schema_version\": 1,\n";

@@ -34,7 +34,7 @@ InjectionReport RandomBitFlipInjector::inject(std::span<std::int32_t> data, util
     word ^= (1u << bit);
     if (record != nullptr) {
       record->push_back({elem, data[elem], static_cast<std::int32_t>(word),
-                         static_cast<std::int8_t>(bit)});
+                         static_cast<std::int16_t>(bit)});
     }
     data[elem] = static_cast<std::int32_t>(word);
   }
@@ -63,7 +63,7 @@ InjectionReport SingleBitFlipInjector::inject(std::span<std::int32_t> data, util
     word ^= (1u << bit_);
     if (record != nullptr) {
       record->push_back({idx, data[idx], static_cast<std::int32_t>(word),
-                         static_cast<std::int8_t>(bit_)});
+                         static_cast<std::int16_t>(bit_)});
     }
     data[idx] = static_cast<std::int32_t>(word);
   }

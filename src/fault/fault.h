@@ -37,13 +37,17 @@ struct InjectionReport {
 /// when two flips land on the same element. The realm::sa coverage harness
 /// consumes them as injected ground truth (which bits actually flipped, and
 /// whether the net effect was nonzero).
+///
+/// `bit` is int16_t: wide enough for any conceivable word size (a 0–63 index
+/// once 64-bit accumulators land) while still leaving room for the negative
+/// kAdditiveBit sentinel, which an unsigned field could not represent.
 struct FlipRecord {
-  static constexpr std::int8_t kAdditiveBit = -1;
+  static constexpr std::int16_t kAdditiveBit = -1;
 
   std::uint64_t index = 0;
   std::int32_t before = 0;
   std::int32_t after = 0;
-  std::int8_t bit = kAdditiveBit;
+  std::int16_t bit = kAdditiveBit;
 };
 
 /// Interface for anything that can corrupt an INT32 accumulator tensor.

@@ -28,6 +28,7 @@ detect::DetectionConfig reference_screen_cfg(detect::DetectionConfig cfg) {
 /// and truncates; saturate clamps at the rails like every register add.
 std::int64_t width_sub(std::int64_t obs, std::int64_t pred, int bits, Overflow overflow) {
   if (overflow == Overflow::kWrap) {
+    // realm-lint: allow(sat-math): models the wrap datapath itself — mod-2^64 on purpose
     const std::uint64_t d = static_cast<std::uint64_t>(obs) - static_cast<std::uint64_t>(pred);
     return util::wrap_to_bits(static_cast<std::int64_t>(d), bits);
   }
@@ -48,6 +49,7 @@ Reg::Reg(int bits, Overflow overflow) : bits_(bits), overflow_(overflow) { check
 
 void Reg::add(std::int64_t x) noexcept {
   if (overflow_ == Overflow::kWrap) {
+    // realm-lint: allow(sat-math): models the wrap datapath itself — mod-2^64 on purpose
     const std::uint64_t s = static_cast<std::uint64_t>(value_) + static_cast<std::uint64_t>(x);
     value_ = util::wrap_to_bits(static_cast<std::int64_t>(s), bits_);
   } else {

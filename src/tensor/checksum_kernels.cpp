@@ -6,6 +6,7 @@
 
 #include "tensor/gemm_kernels.h"
 #include "util/bitmath.h"
+#include "util/compiler.h"
 #include "util/threadpool.h"
 
 #if defined(__x86_64__) || defined(__i386__)
@@ -271,13 +272,9 @@ __attribute__((target("avx2"))) void predict_row_avx2(const std::int8_t* a, std:
 // AVX-512 tier: same schemes at double width.
 // ---------------------------------------------------------------------------
 
-// GCC's _mm512_mul_epi32 passes _mm512_undefined_epi32() — a deliberately
-// uninitialized don't-care lane source for the unmasked form — through its
-// header, which -Wmaybe-uninitialized flags (GCC PR105593). Not a real read.
-#if defined(__GNUC__) && !defined(__clang__)
-#pragma GCC diagnostic push
-#pragma GCC diagnostic ignored "-Wmaybe-uninitialized"
-#endif
+// Suppresses the GCC PR105593 -Wmaybe-uninitialized false positive from
+// _mm512_mul_epi32's undefined-passthrough form; see src/util/compiler.h.
+REALM_BEGIN_AVX512_SECTION
 
 __attribute__((target("avx512f,avx512bw"))) void col_sums_i8_avx512(
     const std::int8_t* m, std::size_t rows, std::size_t cols, std::size_t j0, std::size_t j1,
@@ -416,9 +413,7 @@ __attribute__((target("avx512f"))) void predict_row_avx512(const std::int8_t* a,
   }
 }
 
-#if defined(__GNUC__) && !defined(__clang__)
-#pragma GCC diagnostic pop
-#endif
+REALM_END_AVX512_SECTION
 
 #endif  // REALM_X86
 

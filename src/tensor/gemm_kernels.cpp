@@ -10,6 +10,7 @@
 #include <string>
 #include <vector>
 
+#include "util/compiler.h"
 #include "util/threadpool.h"
 
 #if defined(__x86_64__) || defined(__i386__)
@@ -294,14 +295,9 @@ __attribute__((target("avx2"))) void avx2_rows(const std::int8_t* a, const std::
 // AVX-512 tier: 8x32 tile, same scheme at double width.
 // ---------------------------------------------------------------------------
 
-// GCC routes the unmasked forms of several AVX-512 intrinsics (here the
-// vpmovsxdq widening in the fused store phase) through their masked builtins
-// with _mm512_undefined_epi32() as the don't-care passthrough, which
-// -Wmaybe-uninitialized flags (GCC PR105593). Not a real read.
-#if defined(__GNUC__) && !defined(__clang__)
-#pragma GCC diagnostic push
-#pragma GCC diagnostic ignored "-Wmaybe-uninitialized"
-#endif
+// Suppresses the GCC PR105593 -Wmaybe-uninitialized false positive from the
+// vpmovsxdq widening in the fused store phase; see src/util/compiler.h.
+REALM_BEGIN_AVX512_SECTION
 
 __attribute__((target("avx512f,avx512bw"))) void kern_avx512_full(
     const std::int16_t* a16, std::size_t lda, const std::int16_t* pb, std::size_t kpairs,
@@ -402,9 +398,7 @@ __attribute__((target("avx512f,avx512bw"))) void avx512_rows(const std::int8_t* 
   }
 }
 
-#if defined(__GNUC__) && !defined(__clang__)
-#pragma GCC diagnostic pop
-#endif
+REALM_END_AVX512_SECTION
 
 #endif  // REALM_X86
 
@@ -426,6 +420,7 @@ Tier detect_best() noexcept {
 
 Tier initial_tier() noexcept {
   const Tier best = best_supported_tier();
+  // NOLINTNEXTLINE(concurrency-mt-unsafe) — read once during tier_slot()'s static init
   if (const char* env = std::getenv("REALM_KERNEL")) {
     const std::string v(env);
     if (v == "portable") return Tier::kPortable;

@@ -1,0 +1,20 @@
+// Compiler-specific pragma helpers shared by the SIMD translation units.
+#pragma once
+
+// GCC routes the unmasked forms of several AVX-512 intrinsics (e.g. the
+// vpmovsxdq widening used in fused store phases, and _mm512_mul_epi32)
+// through their masked builtins with _mm512_undefined_epi32() as the
+// don't-care passthrough, which -Wmaybe-uninitialized flags (GCC PR105593).
+// Not a real read, so AVX-512 regions suppress that one warning for GCC
+// only. Every `target("avx512...")` region must sit between
+// REALM_BEGIN_AVX512_SECTION and REALM_END_AVX512_SECTION — realm-lint
+// (tools/realm_lint.py) enforces the pairing and rejects raw
+// `#pragma GCC diagnostic` spellings outside this header.
+#if defined(__GNUC__) && !defined(__clang__)
+#define REALM_BEGIN_AVX512_SECTION \
+  _Pragma("GCC diagnostic push") _Pragma("GCC diagnostic ignored \"-Wmaybe-uninitialized\"")
+#define REALM_END_AVX512_SECTION _Pragma("GCC diagnostic pop")
+#else
+#define REALM_BEGIN_AVX512_SECTION
+#define REALM_END_AVX512_SECTION
+#endif

@@ -186,6 +186,7 @@ std::mutex g_pool_mu;
 std::unique_ptr<ThreadPool> g_pool;
 
 std::size_t default_threads() {
+  // NOLINTNEXTLINE(concurrency-mt-unsafe) — read once under g_pool_mu before workers exist
   if (const char* env = std::getenv("REALM_THREADS")) {
     const long v = std::strtol(env, nullptr, 10);
     if (v > 1) return static_cast<std::size_t>(v);

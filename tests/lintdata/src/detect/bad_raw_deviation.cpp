@@ -1,0 +1,19 @@
+// Fixture: accumulates a column deviation into an int64 with a raw +=. At
+// adversarial fault magnitudes the sum wraps, and a wrapped MSD is exactly
+// what the screen exists to catch — realm-lint must flag this as sat-math.
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace realm::detect {
+
+std::int64_t column_msd(const std::vector<std::int64_t>& observed,
+                        const std::vector<std::int64_t>& predicted) {
+  std::int64_t msd = 0;
+  for (std::size_t j = 0; j < observed.size(); ++j) {
+    msd += observed[j] - predicted[j];  // BAD: can wrap; must use sat_add/sat_sub
+  }
+  return msd;
+}
+
+}  // namespace realm::detect

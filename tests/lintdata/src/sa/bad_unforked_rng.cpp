@@ -1,0 +1,18 @@
+// Fixture: constructs an Rng from a raw per-chunk seed inside a parallel_for
+// body. The stream now depends on how the range was chunked, so results vary
+// with the thread count — realm-lint must flag this as rng-fork.
+#include "util/rng.h"
+#include "util/threadpool.h"
+
+namespace realm::sa {
+
+void sweep_cells(std::size_t n, std::uint64_t seed) {
+  util::global_pool().parallel_for(n, 1, [&](std::size_t c0, std::size_t c1) {
+    util::Rng rng(seed + c0);  // BAD: seed coupled to chunk boundary
+    for (std::size_t c = c0; c < c1; ++c) {
+      (void)rng.uniform_u64(c + 1);
+    }
+  });
+}
+
+}  // namespace realm::sa

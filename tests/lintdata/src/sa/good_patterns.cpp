@@ -1,0 +1,34 @@
+// Fixture: the blessed spellings of every invariant realm-lint enforces.
+// Must produce zero findings — guards against the linter growing false
+// positives on the idioms the real tree uses.
+#include <cstddef>
+#include <cstdint>
+
+#include "util/bitmath.h"
+#include "util/compiler.h"
+#include "util/rng.h"
+#include "util/threadpool.h"
+
+namespace realm::sa {
+
+std::int64_t forked_saturating_sweep(std::size_t n, const util::Rng& base) {
+  std::int64_t msd = 0;
+  util::global_pool().parallel_for(n, 1, [&](std::size_t c0, std::size_t c1) {
+    for (std::size_t c = c0; c < c1; ++c) {
+      util::Rng rng = base.fork(c);  // OK: per-cell stream, chunking-independent
+      const auto d = static_cast<std::int64_t>(rng.uniform_u64(1024));
+      msd = util::sat_add_i64(msd, d);  // OK: saturating accumulation
+    }
+  });
+  return util::clamp_to_bits(msd, 32);
+}
+
+REALM_BEGIN_AVX512_SECTION
+
+__attribute__((target("avx512f"))) void scale_avx512(std::int32_t* v, std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) v[i] *= 2;  // OK: wrapped in section macros
+}
+
+REALM_END_AVX512_SECTION
+
+}  // namespace realm::sa

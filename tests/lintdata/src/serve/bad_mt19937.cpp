@@ -1,0 +1,14 @@
+// Fixture: draws randomness from std::mt19937 instead of util::Rng. The
+// stream is unreplayable from the experiment seed and invisible to the
+// fork-tag discipline — realm-lint must flag this as rng-source.
+#include <cstdint>
+#include <random>
+
+namespace realm::serve {
+
+std::uint32_t jitter() {
+  std::mt19937 gen(42);  // BAD: all randomness must flow through util::Rng
+  return gen();
+}
+
+}  // namespace realm::serve

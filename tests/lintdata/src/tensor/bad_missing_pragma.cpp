@@ -1,0 +1,13 @@
+// Fixture: an AVX-512 region without REALM_BEGIN/END_AVX512_SECTION. On GCC
+// this regresses the PR105593 -Wmaybe-uninitialized suppression (and under
+// -Werror, the build) — realm-lint must flag this as avx512-pragma.
+#include <cstddef>
+#include <cstdint>
+
+namespace realm::tensor {
+
+__attribute__((target("avx512f"))) void scale_avx512(std::int32_t* v, std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) v[i] *= 2;  // BAD: no section macros
+}
+
+}  // namespace realm::tensor

@@ -1,0 +1,12 @@
+// Fixture: uses std::vector without including <vector>, so the header only
+// compiles when an earlier include happens to drag it in — realm-lint must
+// flag this as header-tu (headers stay self-contained).
+#pragma once
+
+#include <cstdint>
+
+namespace realm::util {
+
+inline std::vector<std::int64_t> zeros(std::size_t n) { return std::vector<std::int64_t>(n, 0); }
+
+}  // namespace realm::util

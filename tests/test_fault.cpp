@@ -105,7 +105,7 @@ REALM_TEST(flip_records_capture_exact_bits_and_values) {
   const SingleBitFlipInjector single(0.3, 30);
   single.inject(sb, r1, &record);
   REALM_CHECK(!record.empty());
-  for (const FlipRecord& f : record) REALM_CHECK_EQ(f.bit, std::int8_t{30});
+  for (const FlipRecord& f : record) REALM_CHECK_EQ(f.bit, std::int16_t{30});
 
   std::vector<std::int32_t> mf(256, 17);
   const MagFreqInjector mag(1 << 12, 5);

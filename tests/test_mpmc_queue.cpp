@@ -1,6 +1,7 @@
 #include "util/mpmc_queue.h"
 
 #include <atomic>
+#include <chrono>
 #include <cstdint>
 #include <numeric>
 #include <stdexcept>
@@ -75,6 +76,102 @@ REALM_TEST(many_producers_many_consumers_deliver_each_item_once) {
   const std::uint64_t n = kProducers * kPerProducer;
   REALM_CHECK_EQ(popped_count.load(), n);
   REALM_CHECK_EQ(popped_sum.load(), n * (n - 1) / 2);  // each value exactly once
+}
+
+REALM_TEST(close_with_queued_items_drains_before_reporting_end) {
+  // Shutdown edge: close() with a full queue and concurrent consumers. Every
+  // queued item must still be delivered (in order, observed per consumer via
+  // a monotonicity check) before pop() starts returning false — close is
+  // end-of-input, not discard.
+  MpmcQueue<int> q(16);
+  for (int i = 0; i < 16; ++i) REALM_CHECK(q.push(i));
+  q.close();
+  REALM_CHECK(!q.push(100));  // rejected while items are still queued
+  std::atomic<int> delivered{0};
+  std::vector<std::thread> consumers;
+  std::atomic<bool> order_ok{true};
+  for (int c = 0; c < 3; ++c) {
+    consumers.emplace_back([&] {
+      int v = -1;
+      int last = -1;
+      while (q.pop(v)) {
+        if (v <= last) order_ok = false;  // FIFO: each consumer sees increasing values
+        last = v;
+        delivered.fetch_add(1, std::memory_order_relaxed);
+      }
+    });
+  }
+  for (auto& t : consumers) t.join();
+  REALM_CHECK(order_ok.load());
+  REALM_CHECK_EQ(delivered.load(), 16);
+  int v = -1;
+  REALM_CHECK(!q.pop(v));  // drained and closed: end of stream is sticky
+  REALM_CHECK_EQ(q.size(), std::size_t{0});
+}
+
+REALM_TEST(close_releases_blocked_producers_and_consumers) {
+  // Shutdown edge: threads parked inside push (queue full) and pop (queue
+  // empty) when close() lands must both wake and return false — a missed
+  // notify here is a hang, which the ctest timeout would surface.
+  MpmcQueue<int> full(1);
+  REALM_CHECK(full.push(0));
+  std::atomic<bool> push_result{true};
+  std::thread producer([&] { push_result = full.push(1); });  // parks: queue is full
+  MpmcQueue<int> empty(1);
+  std::atomic<bool> pop_result{true};
+  std::thread consumer([&] {
+    int v = -1;
+    pop_result = empty.pop(v);  // parks: queue is empty
+  });
+  // Give both threads a chance to reach their condvar waits before closing.
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  full.close();
+  empty.close();
+  producer.join();
+  consumer.join();
+  REALM_CHECK(!push_result.load());  // blocked push observes close, rejects
+  REALM_CHECK(!pop_result.load());   // blocked pop observes close, ends stream
+  int v = -1;
+  REALM_CHECK(full.pop(v));  // the pre-close item still drains
+  REALM_CHECK_EQ(v, 0);
+}
+
+REALM_TEST(stressed_mpmc_with_mid_stream_close_loses_nothing_already_queued) {
+  // TSan-stressed shutdown: many producers race many consumers through a
+  // tiny queue while the main thread closes mid-stream. Accepted pushes and
+  // successful pops must balance exactly — close may refuse new items but
+  // can never drop an accepted one or double-deliver under contention.
+  constexpr int kProducers = 4, kConsumers = 4;
+  MpmcQueue<std::uint64_t> q(2);
+  std::atomic<std::uint64_t> pushed_sum{0}, popped_sum{0};
+  std::atomic<std::uint64_t> pushed_count{0}, popped_count{0};
+  std::vector<std::thread> threads;
+  for (int p = 0; p < kProducers; ++p) {
+    threads.emplace_back([&, p] {
+      for (std::uint64_t i = 1; i <= 500; ++i) {
+        const std::uint64_t v = static_cast<std::uint64_t>(p) * 1000 + i;
+        if (!q.push(v)) break;  // close() observed: stop producing
+        pushed_sum.fetch_add(v, std::memory_order_relaxed);
+        pushed_count.fetch_add(1, std::memory_order_relaxed);
+      }
+    });
+  }
+  for (int c = 0; c < kConsumers; ++c) {
+    threads.emplace_back([&] {
+      std::uint64_t v = 0;
+      while (q.pop(v)) {
+        popped_sum.fetch_add(v, std::memory_order_relaxed);
+        popped_count.fetch_add(1, std::memory_order_relaxed);
+      }
+    });
+  }
+  std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  q.close();  // mid-stream: producers mid-push, consumers mid-pop
+  for (auto& t : threads) t.join();
+  REALM_CHECK_EQ(popped_count.load(), pushed_count.load());
+  REALM_CHECK_EQ(popped_sum.load(), pushed_sum.load());
+  std::uint64_t v = 0;
+  REALM_CHECK(!q.pop(v));  // nothing stranded in the ring
 }
 
 REALM_TEST_MAIN()

@@ -1,0 +1,401 @@
+#!/usr/bin/env python3
+"""realm-lint — repo-specific invariant checker for the ReaLM tree.
+
+clang-tidy knows C++; it does not know this repo's contracts. realm-lint
+enforces the invariants the test suite can only sample:
+
+  rng-fork        Rng objects constructed inside a parallel_for body must be
+                  derived with .fork(...) from a stream owned outside the
+                  body. A raw seed constructed per-chunk silently couples the
+                  random stream to the chunking (and therefore to the thread
+                  count), breaking the bit-exactness contract.
+  sat-math        Deviation/accumulation statements on 64-bit sums in
+                  src/detect and src/sa must go through the util/bitmath
+                  helpers (sat_add/sat_sub/wrap_to_bits/clamp_to_bits).
+                  A raw + or - on an int64 deviation sum can wrap, and a
+                  wrapped MSD is exactly the failure mode the screen exists
+                  to catch.
+  avx512-pragma   Every AVX-512 region (any `target("avx512...")` attribute)
+                  must sit between REALM_BEGIN_AVX512_SECTION and
+                  REALM_END_AVX512_SECTION (src/util/compiler.h), which carry
+                  the GCC PR105593 -Wmaybe-uninitialized suppression. Raw
+                  `#pragma GCC diagnostic` outside compiler.h is rejected so
+                  the suppression cannot fork into per-file copies.
+  rng-source      No rand()/srand()/std::mt19937/std::random_device outside
+                  src/util/rng.*. All randomness flows through util::Rng so
+                  every experiment is replayable from one seed.
+  header-tu       Every header under src/ compiles as its own translation
+                  unit (include-what-you-use at file granularity).
+
+Suppressing a finding: append `// realm-lint: allow(<rule>): <rationale>` to
+the offending line (or the line directly above it). The rationale is
+mandatory — a bare allow is itself a finding.
+
+usage: realm_lint.py [--root DIR] [--no-headers] [--cxx COMPILER] [FILE ...]
+
+FILE arguments are root-relative and restrict text rules to those files
+(used by the fixture self-tests). Exit 0 when clean, 1 on findings, 2 on
+usage errors.
+"""
+
+import argparse
+import os
+import pathlib
+import re
+import shutil
+import subprocess
+import sys
+import tempfile
+
+SOURCE_GLOBS = ("src/**/*.h", "src/**/*.cpp", "bench/*.cpp", "tools/*.cpp", "tests/*.cpp",
+                "tests/*.h")
+SAT_MATH_DIRS = ("src/detect", "src/sa")
+RNG_HOME = ("src/util/rng.h", "src/util/rng.cpp")
+SAT_HELPERS = re.compile(r"\b(sat_add_i64|sat_add_u64|sat_sub_i64|wrap_to_bits|clamp_to_bits)\b")
+ALLOW_RE = re.compile(r"//\s*realm-lint:\s*allow\(([a-z0-9-]+)\)(:\s*\S.*)?")
+RULES = ("rng-fork", "sat-math", "avx512-pragma", "rng-source", "header-tu")
+
+
+class Finding:
+    def __init__(self, path, line, rule, message):
+        self.path = path
+        self.line = line
+        self.rule = rule
+        self.message = message
+
+    def __str__(self):
+        return f"{self.path}:{self.line}: [{self.rule}] {self.message}"
+
+
+def strip_comments_and_strings(text, keep_strings=False):
+    """Blank out comments (and, unless keep_strings, string/char literals),
+    preserving line structure.
+
+    Rule regexes must not fire on prose ("std::mt19937" in a comment) or on
+    quoted text; blanking (rather than deleting) keeps line/column numbers
+    stable. Escapes inside literals are honoured; raw strings are handled for
+    the delimiters this tree actually uses (plain R"( )"). keep_strings is
+    for the avx512-pragma rule, whose `target("avx512...")` signature lives
+    inside a string literal.
+    """
+    out = []
+    i, n = 0, len(text)
+    while i < n:
+        c = text[i]
+        nxt = text[i + 1] if i + 1 < n else ""
+        if c == "/" and nxt == "/":
+            j = text.find("\n", i)
+            j = n if j < 0 else j
+            out.append(" " * (j - i))
+            i = j
+        elif c == "/" and nxt == "*":
+            j = text.find("*/", i + 2)
+            j = n - 2 if j < 0 else j
+            chunk = text[i:j + 2]
+            out.append("".join(ch if ch == "\n" else " " for ch in chunk))
+            i = j + 2
+        elif c == '"' and text[i - 1:i + 2] == 'R"(':
+            j = text.find(')"', i + 2)
+            j = n - 2 if j < 0 else j
+            chunk = text[i:j + 2]
+            out.append("".join(ch if ch == "\n" else " " for ch in chunk))
+            i = j + 2
+        elif c in "\"'":
+            j = i + 1
+            while j < n and text[j] != c:
+                j += 2 if text[j] == "\\" else 1
+            out.append(text[i:j + 1] if keep_strings else c + " " * (j - i - 1) + c)
+            i = j + 1
+        else:
+            out.append(c)
+            i += 1
+    return "".join(out)
+
+
+def allows_for_line(raw_lines, lineno):
+    """Collect allow(<rule>) pragmas on this line or the line above (1-based)."""
+    rules = set()
+    bad = []
+    for ln in (lineno - 1, lineno):
+        if 1 <= ln <= len(raw_lines):
+            m = ALLOW_RE.search(raw_lines[ln - 1])
+            if m:
+                if not m.group(2):
+                    bad.append(ln)
+                rules.add(m.group(1))
+    return rules, bad
+
+
+def lambda_body_spans(code, call_re):
+    """Return (start, end) offsets of the outermost {...} of each lambda
+    argument of a call matched by call_re. Brace matching on comment-stripped
+    text; nested lambdas stay inside the span."""
+    spans = []
+    for m in call_re.finditer(code):
+        # Find the matching ')' of the call, tracking the first '{' inside.
+        depth = 0
+        body_start = None
+        i = m.end() - 1  # at '('
+        while i < len(code):
+            c = code[i]
+            if c == "(":
+                depth += 1
+            elif c == ")":
+                depth -= 1
+                if depth == 0:
+                    break
+            elif c == "{" and body_start is None:
+                body_start = i
+            i += 1
+        if body_start is None:
+            continue
+        bdepth = 0
+        j = body_start
+        while j < len(code):
+            if code[j] == "{":
+                bdepth += 1
+            elif code[j] == "}":
+                bdepth -= 1
+                if bdepth == 0:
+                    break
+            j += 1
+        spans.append((body_start, j + 1))
+    return spans
+
+
+PARALLEL_FOR_RE = re.compile(r"\bparallel_for\s*\(")
+RNG_DECL_RE = re.compile(r"\b(?:util::)?Rng\s+(\w+)\s*[({=]")
+RNG_TEMP_RE = re.compile(r"(?<![\w:.])(?:util::)?Rng\s*\(")
+
+
+def check_rng_fork(path, code, raw_lines, findings):
+    for start, end in lambda_body_spans(code, PARALLEL_FOR_RE):
+        body = code[start:end]
+        for m in RNG_DECL_RE.finditer(body):
+            stmt_end = body.find(";", m.start())
+            stmt = body[m.start():stmt_end if stmt_end >= 0 else len(body)]
+            if ".fork(" in stmt:
+                continue
+            lineno = code.count("\n", 0, start + m.start()) + 1
+            allowed, bad = allows_for_line(raw_lines, lineno)
+            note_bare_allows(path, bad, findings)
+            if "rng-fork" in allowed:
+                continue
+            findings.append(Finding(
+                path, lineno, "rng-fork",
+                f"Rng '{m.group(1)}' constructed inside a parallel_for body without "
+                f".fork(...); per-chunk seeds tie results to the thread count"))
+
+
+# An updating statement: `name op= ...` or `name = ...` or a declaration
+# `std::int64_t name = ...`; flagged when the RHS performs a binary +/-.
+INT64_DECL_RE = re.compile(r"\b(?:std::)?u?int64_t\s+(\w+)\s*[=({]")
+BINARY_PM_RE = re.compile(r"[\w)\]]\s*(\+|-)\s*[\w(]")
+
+
+def check_sat_math(path, code, raw_lines, findings):
+    if not str(path).replace(os.sep, "/").startswith(SAT_MATH_DIRS):
+        return
+    tracked = set(INT64_DECL_RE.findall(code))
+    if not tracked:
+        return
+    # Statement-wise scan: join to ';' so multi-line statements are whole.
+    for stmt, lineno in statements_of(code):
+        m = re.match(r"\s*(?:const\s+)?(?:(?:std::)?u?int64_t\s+)?(\w+)(?:\.\w+|\[[^\]]*\])?\s*"
+                     r"(\+=|-=|=)(?!=)", stmt)
+        if not m or m.group(1) not in tracked:
+            continue
+        rhs = stmt[m.end():]
+        if m.group(2) in ("+=", "-="):
+            has_raw = True
+        else:
+            has_raw = bool(BINARY_PM_RE.search(rhs)) and "++" not in rhs and "--" not in rhs
+        if not has_raw or SAT_HELPERS.search(stmt):
+            continue
+        allowed, bad = allows_for_line(raw_lines, lineno)
+        note_bare_allows(path, bad, findings)
+        if "sat-math" in allowed:
+            continue
+        findings.append(Finding(
+            path, lineno, "sat-math",
+            f"raw {m.group(2)} on 64-bit sum '{m.group(1)}'; deviation math in "
+            f"{' and '.join(SAT_MATH_DIRS)} must use util/bitmath "
+            f"(sat_add/sat_sub/wrap_to_bits/clamp_to_bits)"))
+
+
+def statements_of(code):
+    """Yield (statement, first_line_number) pairs, splitting on ';'."""
+    start = 0
+    for i, c in enumerate(code):
+        if c in ";{}":
+            stmt = code[start:i]
+            if stmt.strip():
+                yield stmt, code.count("\n", 0, start) + 1 + leading_newlines(stmt)
+            start = i + 1
+
+
+def leading_newlines(s):
+    return len(s) - len(s.lstrip("\n")) if s.startswith("\n") else 0
+
+
+AVX512_TARGET_RE = re.compile(r"target\s*\(\s*\"avx512")
+RAW_DIAG_RE = re.compile(r"#\s*pragma\s+GCC\s+diagnostic")
+
+
+def check_avx512_pragma(path, code, raw_lines, findings):
+    rel = str(path).replace(os.sep, "/")
+    if rel.endswith("src/util/compiler.h") or rel == "src/util/compiler.h":
+        return
+    for m in RAW_DIAG_RE.finditer(code):
+        lineno = code.count("\n", 0, m.start()) + 1
+        allowed, bad = allows_for_line(raw_lines, lineno)
+        note_bare_allows(path, bad, findings)
+        if "avx512-pragma" in allowed:
+            continue
+        findings.append(Finding(
+            path, lineno, "avx512-pragma",
+            "raw '#pragma GCC diagnostic' outside src/util/compiler.h; use "
+            "REALM_BEGIN_AVX512_SECTION / REALM_END_AVX512_SECTION"))
+    # Region tracking: every target("avx512...") must be inside a section.
+    events = [(m.start(), "begin") for m in re.finditer(r"\bREALM_BEGIN_AVX512_SECTION\b", code)]
+    events += [(m.start(), "end") for m in re.finditer(r"\bREALM_END_AVX512_SECTION\b", code)]
+    events += [(m.start(), "target") for m in AVX512_TARGET_RE.finditer(code)]
+    events.sort()
+    depth = 0
+    for pos, kind in events:
+        lineno = code.count("\n", 0, pos) + 1
+        if kind == "begin":
+            depth += 1
+        elif kind == "end":
+            depth -= 1
+            if depth < 0:
+                findings.append(Finding(path, lineno, "avx512-pragma",
+                                        "REALM_END_AVX512_SECTION without matching begin"))
+                depth = 0
+        else:
+            if depth == 0:
+                allowed, bad = allows_for_line(raw_lines, lineno)
+                note_bare_allows(path, bad, findings)
+                if "avx512-pragma" in allowed:
+                    continue
+                findings.append(Finding(
+                    path, lineno, "avx512-pragma",
+                    'target("avx512...") region not wrapped in '
+                    "REALM_BEGIN_AVX512_SECTION / REALM_END_AVX512_SECTION "
+                    "(GCC PR105593 suppression missing)"))
+    if depth > 0:
+        findings.append(Finding(path, len(raw_lines), "avx512-pragma",
+                                "REALM_BEGIN_AVX512_SECTION without matching end"))
+
+
+FORBIDDEN_RNG_RE = re.compile(
+    r"\b(?:std::)?(mt19937(?:_64)?|random_device|minstd_rand0?|default_random_engine)\b"
+    r"|(?<![\w.:])s?rand\s*\(|(?<![\w.:])drand48\s*\(")
+
+
+def check_rng_source(path, code, raw_lines, findings):
+    rel = str(path).replace(os.sep, "/")
+    if rel in RNG_HOME:
+        return
+    for m in FORBIDDEN_RNG_RE.finditer(code):
+        lineno = code.count("\n", 0, m.start()) + 1
+        allowed, bad = allows_for_line(raw_lines, lineno)
+        note_bare_allows(path, bad, findings)
+        if "rng-source" in allowed:
+            continue
+        findings.append(Finding(
+            path, lineno, "rng-source",
+            f"'{m.group(0).strip()}' outside src/util/rng; all randomness must flow "
+            f"through util::Rng so runs replay from one seed"))
+
+
+def note_bare_allows(path, bad_lines, findings):
+    for ln in bad_lines:
+        findings.append(Finding(path, ln, "allow-rationale",
+                                "realm-lint allow() without a rationale; write "
+                                "'// realm-lint: allow(<rule>): <why>'"))
+
+
+def check_headers(root, headers, cxx, findings):
+    """Each header must compile as its own TU (self-contained includes)."""
+    if shutil.which(cxx) is None:
+        print(f"realm-lint: note: '{cxx}' not found; skipping header-tu checks",
+              file=sys.stderr)
+        return
+    with tempfile.TemporaryDirectory() as td:
+        for h in headers:
+            tu = pathlib.Path(td) / "tu.cpp"
+            tu.write_text(f'#include "{h.relative_to(root / "src")}"\n')
+            proc = subprocess.run(
+                [cxx, "-std=c++20", "-fsyntax-only", "-Wall", "-Wextra",
+                 "-I", str(root / "src"), "-I", str(root / "tests"), str(tu)],
+                capture_output=True, text=True)
+            if proc.returncode != 0:
+                first = next((l for l in proc.stderr.splitlines() if "error" in l), "")
+                findings.append(Finding(
+                    h.relative_to(root), 1, "header-tu",
+                    f"header does not compile as a standalone TU: {first.strip()}"))
+
+
+def gather_files(root, explicit):
+    if explicit:
+        files = []
+        for f in explicit:
+            p = root / f
+            if not p.exists():
+                print(f"realm-lint: no such file: {f}", file=sys.stderr)
+                sys.exit(2)
+            files.append(p)
+        return files
+    files = []
+    for pattern in SOURCE_GLOBS:
+        files.extend(root.glob(pattern))
+    return sorted(set(files))
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__,
+                                 formatter_class=argparse.RawDescriptionHelpFormatter)
+    ap.add_argument("files", nargs="*",
+                    help="root-relative files to restrict the text rules to")
+    ap.add_argument("--root", default=None,
+                    help="repo root (default: parent of this script)")
+    ap.add_argument("--no-headers", action="store_true",
+                    help="skip the header-tu compile checks")
+    ap.add_argument("--cxx", default=os.environ.get("CXX", "c++"),
+                    help="compiler for header-tu checks (default: $CXX or c++)")
+    args = ap.parse_args()
+
+    root = pathlib.Path(args.root) if args.root else pathlib.Path(__file__).resolve().parents[1]
+    if not root.is_dir():
+        print(f"realm-lint: no such root: {root}", file=sys.stderr)
+        return 2
+
+    findings = []
+    for f in gather_files(root, args.files):
+        rel = f.relative_to(root)
+        raw = f.read_text(encoding="utf-8")
+        raw_lines = raw.splitlines()
+        code = strip_comments_and_strings(raw)
+        check_rng_fork(rel, code, raw_lines, findings)
+        check_sat_math(rel, code, raw_lines, findings)
+        check_avx512_pragma(rel, strip_comments_and_strings(raw, keep_strings=True),
+                            raw_lines, findings)
+        check_rng_source(rel, code, raw_lines, findings)
+
+    if not args.no_headers:
+        headers = sorted((root / "src").glob("**/*.h")) if (root / "src").is_dir() else []
+        if args.files:
+            wanted = {str(pathlib.Path(f)) for f in args.files}
+            headers = [h for h in headers if str(h.relative_to(root)) in wanted]
+        check_headers(root, headers, args.cxx, findings)
+
+    for fi in findings:
+        print(fi)
+    scope = f"{len(args.files)} file(s)" if args.files else "tree"
+    print(f"realm-lint: {scope} checked, {len(findings)} finding(s)")
+    return 1 if findings else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
