@@ -64,10 +64,10 @@ struct ShapeResult {
 
 int usage() {
   std::cerr << "usage: protected_gemm_bench [--csv] [--threads N] [--repeat N] [--json FILE]"
-               " [--smoke] [--serve] [--sa]\n"
+               " [--smoke] [--serve] [--serve-async] [--sa]\n"
             << "  --csv        emit CSV instead of a box-drawn table\n"
             << "  --threads N  total GEMM threads (default 1; sets the global pool).\n"
-            << "               With --serve: request-level engine workers instead\n"
+            << "               With --serve/--serve-async: engine workers instead\n"
             << "  --repeat N   repetitions per measurement, run as interleaved\n"
             << "               raw/protected pairs (default: auto, sized so each cell\n"
             << "               measures >= ~50ms of work). With --serve: batches\n"
@@ -79,6 +79,11 @@ int usage() {
             << "  --serve      batched serving mode: drive a TileGrid through the\n"
             << "               ServeEngine and report requests/s, p50/p99 latency, and\n"
             << "               per-request screen overhead (raw vs protected tiles)\n"
+            << "  --serve-async  continuous-batching mode: multi-tenant submit/poll\n"
+            << "               traffic with mixed priorities and shapes, a tile-by-tile\n"
+            << "               weight hot-swap mid-stream, and per-tenant req/s +\n"
+            << "               sliding-window p50/p99; exits nonzero on any dropped\n"
+            << "               request or wrong verdict (the hot-swap-under-load gate)\n"
             << "  --sa         reduced-width datapath mode: time the realm::sa screen\n"
             << "               at several register widths/overflow semantics against\n"
             << "               the exact int64 reductions (wrap rides SIMD, saturate\n"
@@ -283,8 +288,8 @@ int serve_main(bool csv, bool smoke, long threads, int repeat, const std::string
   engine.serve(reqs, responses);  // warm per-worker buffers
   engine.reset_stats();
   const int batches = repeat > 0 ? repeat : (smoke ? 1 : 5);
-  // ServeStats keeps only the latest batch's percentiles; aggregate every
-  // batch's latencies here so the archived p50/p99 covers the whole run.
+  // Aggregate every batch's latencies so the archived p50/p99 covers the
+  // whole run exactly, independent of the engine's sliding-window span.
   std::vector<double> all_lat;
   all_lat.reserve(static_cast<std::size_t>(batches) * nreq);
   const auto t0 = Clock::now();
@@ -293,8 +298,8 @@ int serve_main(bool csv, bool smoke, long threads, int repeat, const std::string
     for (const auto& r : responses) all_lat.push_back(r.latency_ms);
   }
   const double wall_s = seconds_since(t0);
-  const realm::serve::ServeStats& st = engine.stats();
-  const double rps = static_cast<double>(st.requests) / wall_s;
+  const realm::serve::ServeStats st = engine.stats();
+  const double rps = static_cast<double>(st.completed) / wall_s;
   const double p50 = realm::util::quantile(all_lat, 0.50);
   const double p99 = realm::util::quantile(all_lat, 0.99);
 
@@ -355,12 +360,171 @@ int serve_main(bool csv, bool smoke, long threads, int repeat, const std::string
   return 0;
 }
 
+/// Async continuous-batching mode: multi-tenant submit/poll traffic with
+/// mixed priorities and mixed request shapes through the persistent-worker
+/// engine, plus a tile-by-tile weight hot-swap landing mid-stream. Reports
+/// sustained req/s and per-tenant sliding-window p50/p99. Self-gating: any
+/// dropped request or verdict that disagrees with the injected fault plan
+/// (clean traffic must screen clean, injected traffic must correct) exits
+/// nonzero, so the CI smoke run IS the hot-swap-under-load check.
+int serve_async_main(bool csv, bool smoke, long threads, int repeat, const std::string& json_path) {
+  namespace rt = realm::tensor;
+  realm::util::Rng rng(0x5e7a);
+  // Request-level parallelism only; each worker's GEMMs run inline.
+  realm::util::set_global_threads(1);
+
+  const std::size_t m = smoke ? 16 : 64;  // decode-like request height
+  const std::size_t k = smoke ? 128 : 1024;
+  const std::size_t n = smoke ? 256 : 2048;
+  realm::serve::TileGridConfig gcfg;
+  gcfg.tile_cols = smoke ? 64 : 256;
+  const rt::QuantParams qw{0.02f};
+  realm::serve::TileGrid grid(random_i8(k, n, rng), qw, gcfg);  // mutable: hot swap below
+  const rt::QuantParams qa{0.05f};
+
+  // Mixed shapes in flight: full-height and half-height activations
+  // interleave, exercising the per-worker shape-keyed scratch.
+  const std::size_t nshapes = 4;
+  std::vector<rt::MatI8> acts;
+  acts.reserve(nshapes * 2);
+  for (std::size_t i = 0; i < nshapes; ++i) acts.push_back(random_i8(m, k, rng));
+  for (std::size_t i = 0; i < nshapes; ++i) acts.push_back(random_i8(m / 2, k, rng));
+  const realm::fault::MagFreqInjector mag(1 << 20, 3);
+
+  realm::serve::ServeConfig scfg;
+  scfg.workers = static_cast<std::size_t>(threads);
+  scfg.queue_capacity = 16;
+  scfg.seed = 0xba7c4;
+  realm::serve::ServeEngine engine(grid, scfg);
+
+  // Warm-up under a dedicated tenant so the measured tenants' books stay
+  // clean (TenantBook is append-only by design).
+  {
+    realm::serve::SubmitOptions wopt;
+    wopt.tenant = "warmup";
+    for (std::size_t i = 0; i < acts.size(); ++i) {
+      engine.wait(engine.submit(realm::serve::Request::borrow(acts[i], qa), wopt));
+    }
+    engine.reset_stats();
+  }
+
+  const std::size_t total = static_cast<std::size_t>(repeat > 0 ? repeat : (smoke ? 1 : 5)) *
+                            (smoke ? std::size_t{32} : std::size_t{128});
+  std::vector<realm::serve::Ticket> tickets;
+  tickets.reserve(total);
+  const auto submit_one = [&](std::size_t i) {
+    realm::serve::Request rq =
+        realm::serve::Request::borrow(acts[i % acts.size()], qa,
+                                      (i % 8 == 7) ? &mag : nullptr);
+    realm::serve::SubmitOptions opt;
+    // Two tenants, two lanes: "pro" is interactive foreground traffic, "free"
+    // rides the batch lane and yields to it under strict priority.
+    const bool pro = (i % 4 == 0);
+    opt.tenant = pro ? "pro" : "free";
+    opt.priority = pro ? realm::serve::Priority::kInteractive : realm::serve::Priority::kBatch;
+    opt.stream = i;  // pinned: outputs independent of submission interleaving
+    tickets.push_back(engine.submit(std::move(rq), opt));
+  };
+
+  const auto t0 = Clock::now();
+  for (std::size_t i = 0; i < total / 2; ++i) submit_one(i);
+  // Weight hot-swap landing under load: re-roll every tile while workers are
+  // mid-stream. Each candidate tile is scrubbed before install; in-flight
+  // requests finish on their per-tile snapshots.
+  const std::size_t swapped = grid.swap_weights(random_i8(k, n, rng), qw);
+  for (std::size_t i = total / 2; i < total; ++i) submit_one(i);
+
+  std::size_t mis_verdicts = 0;
+  std::size_t dropped = 0;
+  for (std::size_t i = 0; i < tickets.size(); ++i) {
+    const realm::serve::Response rsp = engine.wait(tickets[i]);
+    if (rsp.expired) {
+      ++dropped;
+      continue;
+    }
+    const bool injected = (i % 8 == 7);
+    const auto want =
+        injected ? realm::detect::Verdict::kCorrected : realm::detect::Verdict::kClean;
+    if (rsp.verdict.verdict != want) ++mis_verdicts;
+  }
+  const double wall_s = seconds_since(t0);
+  const double rps = static_cast<double>(total) / wall_s;
+  const realm::serve::ServeStats st = engine.stats();
+
+  realm::util::TablePrinter table(
+      std::string("protected_gemm_bench --serve-async (submit/poll through ServeEngine, tier=") +
+      realm::tensor::kernels::to_string(realm::tensor::kernels::active_tier()) +
+      ", workers=" + std::to_string(scfg.workers) + ", tiles_swapped=" + std::to_string(swapped) +
+      ")");
+  table.header({"tenant", "priority", "submitted", "completed", "corrected", "req/s", "p50_ms",
+                "p99_ms"});
+  for (const char* name : {"pro", "free"}) {
+    const realm::serve::TenantStats ts = engine.tenant_stats(name);
+    table.row({ts.tenant, std::string(name) == "pro" ? "interactive" : "batch",
+               std::to_string(ts.submitted), std::to_string(ts.completed),
+               std::to_string(ts.requests_corrected), realm::util::TablePrinter::num(ts.req_per_s),
+               realm::util::TablePrinter::num(ts.window_p50_ms),
+               realm::util::TablePrinter::num(ts.window_p99_ms)});
+  }
+  table.row({"(all)", "-", std::to_string(st.submitted), std::to_string(st.completed), "-",
+             realm::util::TablePrinter::num(rps),
+             realm::util::TablePrinter::num(st.window_p50_ms),
+             realm::util::TablePrinter::num(st.window_p99_ms)});
+  if (csv) {
+    table.print_csv(std::cout);
+  } else {
+    table.print(std::cout);
+  }
+
+  if (!json_path.empty()) {
+    std::ofstream os(json_path);
+    if (!os) {
+      std::cerr << "protected_gemm_bench: cannot write " << json_path << "\n";
+      return 1;
+    }
+    char buf[1024];
+    std::snprintf(buf, sizeof(buf),
+                  "{\n"
+                  "  \"schema_version\": 1,\n"
+                  "  \"mode\": \"serve-async\",\n"
+                  "  \"kernel_tier\": \"%s\",\n"
+                  "  \"workers\": %zu,\n"
+                  "  \"tiles\": %zu,\n"
+                  "  \"tiles_swapped\": %zu,\n"
+                  "  \"m\": %zu, \"k\": %zu, \"n\": %zu,\n"
+                  "  \"requests\": %zu,\n"
+                  "  \"rps\": %.2f,\n"
+                  "  \"window_p50_ms\": %.4f,\n"
+                  "  \"window_p99_ms\": %.4f,\n"
+                  "  \"expired\": %llu,\n"
+                  "  \"failed\": %llu,\n"
+                  "  \"tiles_corrected\": %llu\n"
+                  "}\n",
+                  realm::tensor::kernels::to_string(realm::tensor::kernels::active_tier()),
+                  scfg.workers, grid.tile_count(), swapped, m, k, n, total, rps, st.window_p50_ms,
+                  st.window_p99_ms, static_cast<unsigned long long>(st.expired),
+                  static_cast<unsigned long long>(st.failed),
+                  static_cast<unsigned long long>(st.tiles_corrected));
+    os << buf;
+  }
+
+  if (dropped != 0 || mis_verdicts != 0 || swapped != grid.tile_count() ||
+      !grid.verify_weight_integrity()) {
+    std::cerr << "protected_gemm_bench: serve-async gate FAILED (dropped=" << dropped
+              << ", mis_verdicts=" << mis_verdicts << ", tiles_swapped=" << swapped << "/"
+              << grid.tile_count() << ")\n";
+    return 1;
+  }
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   bool csv = false;
   bool smoke = false;
   bool serve = false;
+  bool serve_async = false;
   bool sa = false;
   long threads = 1;
   int repeat = 0;  // 0 = auto
@@ -373,6 +537,8 @@ int main(int argc, char** argv) {
       smoke = true;
     } else if (arg == "--serve") {
       serve = true;
+    } else if (arg == "--serve-async") {
+      serve_async = true;
     } else if (arg == "--sa") {
       sa = true;
     } else if (arg == "--threads" && i + 1 < argc) {
@@ -387,8 +553,11 @@ int main(int argc, char** argv) {
       return usage();
     }
   }
-  if (serve && sa) return usage();
+  if (static_cast<int>(serve) + static_cast<int>(serve_async) + static_cast<int>(sa) > 1) {
+    return usage();
+  }
   if (serve) return serve_main(csv, smoke, threads, repeat, json_path);
+  if (serve_async) return serve_async_main(csv, smoke, threads, repeat, json_path);
   if (sa) return sa_main(csv, smoke, threads, repeat, json_path);
   realm::util::set_global_threads(static_cast<std::size_t>(threads));
   realm::util::Rng rng(0xbe7c);

@@ -1,20 +1,31 @@
 #include "serve/engine.h"
 
-#include <algorithm>
 #include <chrono>
 #include <stdexcept>
-#include <thread>
+#include <utility>
 
-#include "util/mpmc_queue.h"
+#include "util/threadpool.h"
 
 namespace realm::serve {
 
 namespace {
 
-using Clock = std::chrono::steady_clock;
+/// Latency is a measurement, not a scheduling input, so it always reads the
+/// real steady clock — even when deadlines run against a ManualClock.
+using LatencyClock = std::chrono::steady_clock;
 
-double ms_since(Clock::time_point t0) {
-  return std::chrono::duration<double, std::milli>(Clock::now() - t0).count();
+double ms_since(LatencyClock::time_point t0) {
+  return std::chrono::duration<double, std::milli>(LatencyClock::now() - t0).count();
+}
+
+/// Process-wide default time source when ServeConfig::clock is null.
+const util::Clock& steady_clock_instance() {
+  static const util::Clock clock;
+  return clock;
+}
+
+bool terminal(TicketState s) noexcept {
+  return s == TicketState::kDone || s == TicketState::kExpired || s == TicketState::kFailed;
 }
 
 }  // namespace
@@ -22,85 +33,236 @@ double ms_since(Clock::time_point t0) {
 ServeEngine::ServeEngine(const TileGrid& grid, ServeConfig cfg)
     : grid_(grid),
       cfg_(cfg),
-      pool_(cfg.workers < 1 ? 1 : cfg.workers),
-      workers_(cfg.workers < 1 ? 1 : cfg.workers) {
-  if (cfg_.queue_capacity == 0) {
-    throw std::invalid_argument("ServeEngine: queue_capacity must be >= 1");
+      clock_(cfg.clock ? cfg.clock : &steady_clock_instance()),
+      sched_(cfg.queue_capacity),  // throws if the capacity is 0
+      tenants_(cfg.stats_window),  // throws if the window is 0
+      latency_window_(cfg.stats_window) {
+  const std::size_t nworkers = cfg_.workers < 1 ? 1 : cfg_.workers;
+  threads_.reserve(nworkers);
+  try {
+    for (std::size_t w = 0; w < nworkers; ++w) {
+      threads_.emplace_back([this] { worker_loop(); });
+    }
+  } catch (...) {
+    // A failed spawn must not unwind past joinable threads (std::terminate);
+    // close the scheduler, join what started, surface the original error.
+    sched_.close();
+    for (auto& th : threads_) th.join();
+    throw;
   }
 }
 
-void ServeEngine::process(Worker& w, const Request& rq, std::size_t index, Response& rsp) {
+ServeEngine::~ServeEngine() {
+  // Graceful close: no new admissions, workers drain every queued ticket
+  // (Scheduler::next keeps handing out work after close until empty).
+  sched_.close();
+  for (auto& th : threads_) th.join();
+}
+
+std::optional<Ticket> ServeEngine::enqueue(Request&& request, const SubmitOptions& options,
+                                           bool blocking) {
+  if (request.activation() == nullptr) {
+    throw std::invalid_argument("ServeEngine: request with null activation");
+  }
+  const std::string tenant(options.tenant);
+  Ticket ticket;
+  {
+    const std::lock_guard<std::mutex> lock(mu_);
+    ticket.id = next_id_++;
+    Slot& slot = slots_[ticket.id];
+    slot.state = TicketState::kQueued;
+    slot.request = std::move(request);
+    slot.tenant = tenant;
+    slot.deadline = options.deadline;
+    // Default stream: the submission sequence (ticket id - 1), so a single
+    // submitter gets the 0,1,2,... streams of the old batch engine; pin
+    // options.stream for interleaving-independent replays.
+    slot.stream = options.stream.value_or(ticket.id - 1);
+    ++inflight_;
+  }
+  const bool admitted = blocking ? sched_.admit(ticket.id, options.priority)
+                                 : sched_.try_admit(ticket.id, options.priority);
+  if (!admitted) {
+    {
+      const std::lock_guard<std::mutex> lock(mu_);
+      slots_.erase(ticket.id);
+      --inflight_;
+      ++counters_.rejected;
+    }
+    tenants_.record_rejected(tenant);
+    done_cv_.notify_all();  // a parked drain() must re-check its predicate
+    if (blocking) {
+      // admit() only fails once the scheduler is closed — submitting into a
+      // destructing engine is a caller bug worth throwing about.
+      throw std::runtime_error("ServeEngine: submit after shutdown");
+    }
+    return std::nullopt;
+  }
+  {
+    const std::lock_guard<std::mutex> lock(mu_);
+    ++counters_.submitted;
+  }
+  tenants_.record_submitted(tenant);
+  return ticket;
+}
+
+Ticket ServeEngine::submit(Request request, SubmitOptions options) {
+  return *enqueue(std::move(request), options, /*blocking=*/true);
+}
+
+std::optional<Ticket> ServeEngine::try_submit(Request request, SubmitOptions options) {
+  return enqueue(std::move(request), options, /*blocking=*/false);
+}
+
+void ServeEngine::process(WorkerScratch& scratch, const Request& request, std::uint64_t stream,
+                          Response& response) {
   static const fault::NullInjector kGolden;
-  const fault::FaultInjector& inj = rq.injector ? *rq.injector : kGolden;
-  const auto t0 = Clock::now();
-  // Deterministic fault stream: request index (not worker id, not pop order)
-  // selects the stream; the grid forks it again per tile.
-  const util::Rng rng = util::Rng(cfg_.seed).fork(index);
-  grid_.run_into(*rq.a8, rq.qa, inj, rng, w.scratch, rsp.output, rsp.verdict);
-  rsp.latency_ms = ms_since(t0);
+  const fault::FaultInjector& inj = request.injector ? *request.injector : kGolden;
+  const auto t0 = LatencyClock::now();
+  // Deterministic fault stream: the stream tag (not worker id, not pop order)
+  // selects it; the grid forks it again per tile.
+  const util::Rng rng = util::Rng(cfg_.seed).fork(stream);
+  const tensor::MatI8& a8 = *request.activation();
+  // Shape-keyed scratch: mixed shapes in flight each recycle their own
+  // buffer set instead of thrashing one set through reallocation.
+  auto& tile_scratch = scratch.by_rows[a8.rows()];
+  grid_.run_into(a8, request.qa, inj, rng, tile_scratch, response.output, response.verdict);
+  response.latency_ms = ms_since(t0);
+}
+
+void ServeEngine::worker_loop() {
+  // Nesting marker: every parallel_for reached from this thread (the GEMM
+  // macro-loop) runs inline here — one request is one worker's work.
+  util::mark_thread_as_pool_worker();
+  WorkerScratch scratch;
+  std::uint64_t id = 0;
+  while (sched_.next(id)) {
+    Request request;
+    std::string tenant;
+    std::uint64_t stream = 0;
+    bool expired = false;
+    {
+      const std::lock_guard<std::mutex> lock(mu_);
+      Slot& slot = slots_.at(id);
+      tenant = slot.tenant;
+      if (slot.deadline && clock_->now() > *slot.deadline) {
+        // Retired at the deadline: the GEMM never runs, the output stays
+        // empty, and the request's fault stream is simply never drawn (other
+        // requests' streams are independent forks, so nothing shifts).
+        slot.state = TicketState::kExpired;
+        slot.response.expired = true;
+        expired = true;
+        ++counters_.expired;
+        --inflight_;
+      } else {
+        slot.state = TicketState::kRunning;
+        request = slot.request;  // pointers + shared_ptr: cheap, lock stays short
+        stream = slot.stream;
+      }
+    }
+    if (expired) {
+      tenants_.record_expired(tenant);
+      done_cv_.notify_all();
+      continue;
+    }
+
+    Response response;
+    std::exception_ptr error;
+    try {
+      process(scratch, request, stream, response);
+    } catch (...) {
+      error = std::current_exception();
+    }
+    const double latency_ms = response.latency_ms;
+    const detect::Verdict verdict = response.verdict.verdict;
+    {
+      const std::lock_guard<std::mutex> lock(mu_);
+      Slot& slot = slots_.at(id);
+      if (error) {
+        slot.state = TicketState::kFailed;
+        slot.error = error;
+        ++counters_.failed;
+      } else {
+        slot.state = TicketState::kDone;
+        ++counters_.completed;
+        counters_.tiles_screened += response.verdict.tiles;
+        counters_.tiles_detected += response.verdict.tiles_detected;
+        counters_.tiles_corrected += response.verdict.tiles_corrected;
+        counters_.latency_ms.add(latency_ms);
+        latency_window_.add(latency_ms);
+        slot.response = std::move(response);
+      }
+      --inflight_;
+    }
+    if (error) {
+      tenants_.record_failed(tenant);
+    } else {
+      tenants_.record_completed(tenant, latency_ms, verdict, clock_->now());
+    }
+    done_cv_.notify_all();
+  }
+}
+
+TicketState ServeEngine::poll(Ticket ticket) const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  const auto it = slots_.find(ticket.id);
+  if (it == slots_.end()) {
+    throw std::invalid_argument("ServeEngine: unknown or already-consumed ticket");
+  }
+  return it->second.state;
+}
+
+Response ServeEngine::wait(Ticket ticket) {
+  Slot slot;
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    if (slots_.find(ticket.id) == slots_.end()) {
+      throw std::invalid_argument("ServeEngine: unknown or already-consumed ticket");
+    }
+    // Re-look-up per check: concurrent submits may rehash the table.
+    done_cv_.wait(lock, [&] { return terminal(slots_.at(ticket.id).state); });
+    const auto it = slots_.find(ticket.id);
+    slot = std::move(it->second);
+    slots_.erase(it);
+  }
+  if (slot.error) std::rethrow_exception(slot.error);
+  return std::move(slot.response);
+}
+
+void ServeEngine::drain() {
+  std::unique_lock<std::mutex> lock(mu_);
+  done_cv_.wait(lock, [&] { return inflight_ == 0; });
 }
 
 void ServeEngine::serve(std::span<const Request> requests, std::vector<Response>& responses) {
-  // Validate before any thread spawns so malformed batches fail on the
-  // calling thread, not inside the parallel region.
+  // Validate up front so malformed batches fail before anything is admitted.
   for (const Request& rq : requests) {
-    if (rq.a8 == nullptr) {
+    if (rq.activation() == nullptr) {
       throw std::invalid_argument("ServeEngine: request with null activation");
     }
   }
   responses.resize(requests.size());
   if (requests.empty()) return;
 
-  const std::size_t nworkers = std::min(workers_.size(), requests.size());
-  if (nworkers <= 1) {
-    for (std::size_t i = 0; i < requests.size(); ++i) {
-      process(workers_[0], requests[i], i, responses[i]);
-    }
-  } else {
-    // The queue carries request indices; bounded capacity gives the producer
-    // backpressure exactly as a network front door would experience it. The
-    // producer is a plain thread so every pool worker (calling thread
-    // included) stays a consumer.
-    util::MpmcQueue<std::size_t> queue(cfg_.queue_capacity);
-    std::thread producer([&] {
-      for (std::size_t i = 0; i < requests.size(); ++i) {
-        if (!queue.push(i)) break;  // closed early — cannot happen today
-      }
-      queue.close();
-    });
+  std::vector<Ticket> tickets;
+  tickets.reserve(requests.size());
+  for (std::size_t i = 0; i < requests.size(); ++i) {
+    SubmitOptions options;
+    options.stream = i;  // the old per-batch fork(i) streams, bit-identical
+    tickets.push_back(submit(requests[i], options));
+  }
+  // Retire the whole batch even if a request failed: every ticket must be
+  // consumed before the first error is rethrown, or the engine would carry
+  // orphaned slots across serve() calls.
+  std::exception_ptr first_error;
+  for (std::size_t i = 0; i < requests.size(); ++i) {
     try {
-      pool_.parallel_for(nworkers, 1, [&](std::size_t begin, std::size_t end) {
-        for (std::size_t w = begin; w < end; ++w) {
-          std::size_t i = 0;
-          while (queue.pop(i)) process(workers_[w], requests[i], i, responses[i]);
-        }
-      });
+      responses[i] = wait(tickets[i]);
     } catch (...) {
-      // A worker threw (parallel_for rethrows here after all chunks quiesce).
-      // The producer may still be parked in push(); closing the queue
-      // unblocks it, and it MUST be joined before the queue leaves scope —
-      // destroying a joinable thread is std::terminate.
-      queue.close();
-      producer.join();
-      throw;
+      if (!first_error) first_error = std::current_exception();
     }
-    producer.join();
   }
-
-  // Aggregate AFTER the parallel region, from the (deterministic) responses:
-  // counters are a pure function of the batch, so no worker-side atomics.
-  std::vector<double> latencies(responses.size());
-  for (std::size_t i = 0; i < responses.size(); ++i) {
-    const Response& r = responses[i];
-    ++stats_.requests;
-    stats_.tiles_screened += r.verdict.tiles;
-    stats_.tiles_detected += r.verdict.tiles_detected;
-    stats_.tiles_corrected += r.verdict.tiles_corrected;
-    stats_.latency_ms.add(r.latency_ms);
-    latencies[i] = r.latency_ms;
-  }
-  stats_.p50_ms = util::quantile(latencies, 0.50);
-  stats_.p99_ms = util::quantile(latencies, 0.99);
+  if (first_error) std::rethrow_exception(first_error);
 }
 
 std::vector<Response> ServeEngine::serve(std::span<const Request> requests) {
@@ -108,5 +270,28 @@ std::vector<Response> ServeEngine::serve(std::span<const Request> requests) {
   serve(requests, responses);
   return responses;
 }
+
+ServeStats ServeEngine::stats() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  ServeStats out = counters_;
+  out.window_count = latency_window_.count();
+  if (out.window_count > 0) {
+    out.window_p50_ms = latency_window_.quantile(0.50);
+    out.window_p99_ms = latency_window_.quantile(0.99);
+  }
+  return out;
+}
+
+void ServeEngine::reset_stats() {
+  const std::lock_guard<std::mutex> lock(mu_);
+  counters_ = ServeStats{};
+  latency_window_ = util::SlidingWindow(cfg_.stats_window);
+}
+
+TenantStats ServeEngine::tenant_stats(std::string_view tenant) const {
+  return tenants_.stats(tenant);
+}
+
+std::vector<std::string> ServeEngine::tenants() const { return tenants_.tenants(); }
 
 }  // namespace realm::serve

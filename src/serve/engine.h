@@ -1,121 +1,263 @@
-// Batched request-serving engine over a TileGrid — the layer that turns one
-// protected GEMM into a traffic-serving system.
+// Async continuous-batching serving engine over a TileGrid — the layer that
+// turns one protected GEMM into a traffic-serving system.
 //
-// Dataflow per serve() call:
+// Lifecycle of a request:
 //
-//   requests ──> bounded MpmcQueue ──> worker 0 ─┐
-//   (producer     (backpressure:      worker 1 ─┼─> per-request TileGrid
-//    thread)       capacity bound)      ...     │    run + BatchVerdict
-//                                    worker W-1 ─┘        │
-//                                                         v
-//                                      responses[i] (request order preserved)
+//   submit(Request, {tenant, priority, deadline}) ──> Ticket
+//        │  admission control: blocking submit() parks under backpressure
+//        │  (bounded budget shared across lanes); try_submit() sheds load
+//        v
+//   Scheduler lanes  [interactive] > [normal] > [batch]   (strict priority)
+//        │
+//        v            persistent worker threads (ServeConfig::workers)
+//   worker_loop: pop most-urgent ticket ──> deadline check ──> TileGrid run
+//        │             (expired: retired as kExpired,     (per-request RNG
+//        │              GEMM never runs)                   stream, per-tile
+//        v                                                 fork)
+//   poll(Ticket) -> TicketState;  wait(Ticket) -> Response (consumes ticket)
 //
-// Workers are the existing util::ThreadPool primitive: serve() runs one
-// parallel_for over worker indices and each worker drains the queue until it
-// closes. Because pool workers set the thread-local nesting flag, the GEMMs
-// inside each request run INLINE on that worker (threadpool.h nesting rule) —
-// with 2+ effective workers, request-level parallelism and kernel-level
-// parallelism never fight over the same cores, and the per-tile screen stays
-// bit-exact. The single-worker path (workers == 1, or a batch of one) instead
-// runs requests on the calling thread, where kernel-level threading
-// (REALM_THREADS / set_global_threads) applies normally: workers == 1 is the
-// latency mode (one request at a time, GEMMs may fan out), workers >= 2 the
-// throughput mode (GEMMs pinned to their worker). Outputs and verdicts are
-// bit-identical either way; latency/throughput numbers are only comparable
-// across worker counts with the global pool pinned to 1, which is what the
-// bench's --serve mode does.
+// Workers are plain threads marked with util::mark_thread_as_pool_worker, so
+// each request's GEMMs run INLINE on the worker that claimed it (threadpool.h
+// nesting rule): request-level parallelism and kernel-level parallelism never
+// fight over the same cores, and the per-tile screen stays bit-exact. The
+// corollary is that kernel-level threading (REALM_THREADS) does not compose
+// with engine workers — a request is one worker's work, end to end.
 //
-// Per-worker state (the tile-result scratch) is recycled across requests and
-// across serve() calls, so the steady-state hot path allocates nothing: every
-// accumulator, output, and checksum buffer is reused via run_quantized_into.
+// Mixed shapes in flight: per-worker scratch is keyed by the request's row
+// count, so interleaving m=8 and m=64 traffic recycles one buffer set per
+// shape instead of reallocating per request; steady-state traffic over a
+// fixed shape mix allocates nothing.
 //
-// Determinism: request i draws its fault stream from seed fork(i) and tile t
-// within it from fork(t) — verdicts and outputs are a pure function of
-// (seed, requests), independent of worker count or scheduling. Latency stats
-// are the only nondeterministic outputs.
+// Determinism: a request's fault stream is seed→fork(stream)→fork(tile),
+// where `stream` is SubmitOptions::stream if pinned, else the ticket's
+// submission sequence. Verdicts and outputs are therefore a pure function of
+// (seed, request, stream) — independent of worker count, queue depth,
+// priorities, or completion order. The synchronous serve() shim pins
+// stream = batch index i, making it bit-identical to the pre-async engine
+// and to any async run that pins the same streams. Latency stats are the
+// only nondeterministic outputs.
 //
-// ServeEngine is externally synchronized: one serve() at a time (it owns its
-// pool and per-worker buffers). Concurrency lives INSIDE serve, not across
-// calls — the multi-session story is one engine per model replica.
+// Weight hot-swap: the engine reads tiles through TileGrid's per-tile
+// snapshots, so the owner may call grid.swap_tile()/swap_weights() while
+// traffic is in flight — requests complete against consistent per-tile
+// weights (old or new, never half-swapped; see tile_grid.h for the state
+// machine). drain() is the barrier for callers that want a strict epoch:
+// drain, swap every tile, resume submitting.
+//
+// Thread safety: submit/try_submit/poll/wait/drain/stats/tenant_stats may be
+// called concurrently from any number of threads. wait() consumes the
+// ticket; polling a consumed or never-issued ticket throws.
 #pragma once
 
+#include <condition_variable>
 #include <cstddef>
 #include <cstdint>
+#include <exception>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
 #include <span>
+#include <string>
+#include <string_view>
+#include <thread>
+#include <unordered_map>
 #include <vector>
 
+#include "serve/scheduler.h"
+#include "serve/tenant.h"
+#include "serve/ticket.h"
 #include "serve/tile_grid.h"
+#include "util/clock.h"
 #include "util/stats.h"
-#include "util/threadpool.h"
 
 namespace realm::serve {
 
 struct ServeConfig {
-  /// Request-level workers (including the calling thread). Clamped to >= 1.
+  /// Dedicated worker threads draining the scheduler. Clamped to >= 1.
   std::size_t workers = 1;
-  /// Bound of the request queue; producers park when it fills.
+  /// Admission budget: total queued tickets across all priority lanes.
+  /// submit() parks when it fills; try_submit() rejects.
   std::size_t queue_capacity = 64;
-  /// Base seed for per-request fault streams (forked per request, per tile).
+  /// Base seed for per-request fault streams (forked per stream, per tile).
   std::uint64_t seed = 0x5e44e;
+  /// Sliding-window span (samples) for the engine and per-tenant latency
+  /// quantiles and the per-tenant req/s rate.
+  std::size_t stats_window = 512;
+  /// Deadline / rate-window time source; nullptr = real steady clock. Tests
+  /// inject a util::ManualClock here to make expiry deterministic. Must
+  /// outlive the engine.
+  const util::Clock* clock = nullptr;
 };
 
-/// One inference request. The engine does not copy the activation — the
-/// pointed-to matrix and injector must outlive the serve() call.
+/// One inference request. The activation is either BORROWED (`a8` — the
+/// pointed-to matrix must stay alive until the ticket is waited on or the
+/// engine is destroyed; under async serving that window is unbounded, so
+/// borrow only what you own for the engine's lifetime) or OWNED (`owned` —
+/// the request keeps the activation alive itself; the safe default for
+/// fire-and-forget submission). The injector is always borrowed under the
+/// same ticket-scoped contract (nullptr = golden/NullInjector).
 struct Request {
-  const tensor::MatI8* a8 = nullptr;
+  const tensor::MatI8* a8 = nullptr;  ///< borrowed activation (see above)
   tensor::QuantParams qa{};
   /// Fault model for this request (nullptr = golden/NullInjector).
   const fault::FaultInjector* injector = nullptr;
+  /// Owned activation; when set it wins over `a8`.
+  std::shared_ptr<const tensor::MatI8> owned;
+
+  /// Borrowing constructor-helper: caller guarantees `a8` outlives the ticket.
+  [[nodiscard]] static Request borrow(const tensor::MatI8& a8, tensor::QuantParams qa,
+                                      const fault::FaultInjector* injector = nullptr) {
+    Request rq;
+    rq.a8 = &a8;
+    rq.qa = qa;
+    rq.injector = injector;
+    return rq;
+  }
+
+  /// Owning helper: the request carries the activation; nothing to outlive.
+  [[nodiscard]] static Request own(tensor::MatI8 a8, tensor::QuantParams qa,
+                                   const fault::FaultInjector* injector = nullptr) {
+    Request rq;
+    rq.owned = std::make_shared<const tensor::MatI8>(std::move(a8));
+    rq.qa = qa;
+    rq.injector = injector;
+    return rq;
+  }
+
+  /// The activation actually served: owned if set, else the borrowed pointer
+  /// (nullptr means a malformed request — submit() rejects it).
+  [[nodiscard]] const tensor::MatI8* activation() const noexcept {
+    return owned ? owned.get() : a8;
+  }
 };
 
 struct Response {
   tensor::MatF output;    ///< assembled [m x n] dequantized result
   BatchVerdict verdict;   ///< aggregated across tiles
-  double latency_ms = 0;  ///< queue-pop to response-complete, this worker
+  double latency_ms = 0;  ///< worker-claim to response-complete
+  bool expired = false;   ///< deadline passed while queued; output empty
 };
 
-/// Cumulative counters plus the latest batch's latency distribution.
+/// Engine-wide accounting snapshot (see TenantStats for the per-tenant cut).
+/// The latency quantiles are sliding-window over the most recent
+/// `ServeConfig::stats_window` completions — NOT per-batch (there are no
+/// batches under continuous batching) and NOT whole-history (which goes
+/// stale); the `window_` prefix is deliberate so readers of the old
+/// per-batch `p50_ms`/`p99_ms` fields cannot silently misread them.
 struct ServeStats {
-  std::uint64_t requests = 0;
+  std::uint64_t submitted = 0;  ///< admitted tickets
+  std::uint64_t rejected = 0;   ///< try_submit refused at admission
+  std::uint64_t completed = 0;  ///< computed to a verdict
+  std::uint64_t expired = 0;    ///< retired at the deadline, never computed
+  std::uint64_t failed = 0;     ///< worker threw (wait() rethrows)
   std::uint64_t tiles_screened = 0;
-  std::uint64_t tiles_detected = 0;   ///< flagged, not certified corrected
+  std::uint64_t tiles_detected = 0;  ///< flagged, not certified corrected
   std::uint64_t tiles_corrected = 0;
-  util::RunningStat latency_ms;  ///< cumulative across serve() calls
-  double p50_ms = 0;             ///< most recent serve() batch
-  double p99_ms = 0;             ///< most recent serve() batch
+  util::RunningStat latency_ms;  ///< cumulative over completed requests
+  double window_p50_ms = 0;      ///< sliding window, last stats_window completions
+  double window_p99_ms = 0;      ///< sliding window, last stats_window completions
+  std::size_t window_count = 0;  ///< samples currently in the window
 };
 
 class ServeEngine {
  public:
-  /// The grid must outlive the engine.
+  /// Spawns the worker threads. The grid (and cfg.clock, if set) must
+  /// outlive the engine.
   explicit ServeEngine(const TileGrid& grid, ServeConfig cfg = {});
 
-  /// Serve a batch: responses[i] always answers requests[i] regardless of
-  /// which worker ran it. `responses` is resized and its buffers recycled —
-  /// reusing one vector across calls makes the hot path allocation-free.
+  /// Closes admission, drains every admitted ticket, joins the workers.
+  /// Unclaimed responses are discarded.
+  ~ServeEngine();
+
+  ServeEngine(const ServeEngine&) = delete;
+  ServeEngine& operator=(const ServeEngine&) = delete;
+
+  /// Admit one request. Blocks while the admission budget is exhausted
+  /// (backpressure). Throws std::invalid_argument on a null activation.
+  Ticket submit(Request request, SubmitOptions options = {});
+
+  /// Non-blocking admission: nullopt (and a `rejected` tally for the tenant)
+  /// when the budget is exhausted — the load-shedding front door.
+  std::optional<Ticket> try_submit(Request request, SubmitOptions options = {});
+
+  /// Lifecycle state of a live ticket. Throws std::invalid_argument for a
+  /// ticket that was never issued or was already consumed by wait().
+  [[nodiscard]] TicketState poll(Ticket ticket) const;
+
+  /// Block until the ticket is terminal, then consume it. Returns the
+  /// response (check Response::expired for deadline losses); rethrows the
+  /// worker's exception for kFailed tickets. A ticket can be waited on
+  /// exactly once.
+  Response wait(Ticket ticket);
+
+  /// Block until every admitted ticket has been retired (done, expired, or
+  /// failed). New submissions during a drain extend it.
+  void drain();
+
+  /// Synchronous compatibility shim on submit+wait: responses[i] answers
+  /// requests[i], with fault stream pinned to the batch index i — verdicts
+  /// and outputs are bit-identical to the pre-async batch engine and to an
+  /// async caller pinning the same streams, at any worker count. The first
+  /// worker exception is rethrown after the whole batch retires.
   void serve(std::span<const Request> requests, std::vector<Response>& responses);
 
   /// Allocating convenience overload.
   [[nodiscard]] std::vector<Response> serve(std::span<const Request> requests);
 
-  [[nodiscard]] const ServeStats& stats() const noexcept { return stats_; }
-  void reset_stats() noexcept { stats_ = {}; }
+  [[nodiscard]] ServeStats stats() const;
+  /// Reset engine-wide counters and the latency window (per-tenant books are
+  /// append-only and unaffected).
+  void reset_stats();
+
+  /// Snapshot one tenant's accounting; throws for a never-seen tenant.
+  [[nodiscard]] TenantStats tenant_stats(std::string_view tenant) const;
+  [[nodiscard]] std::vector<std::string> tenants() const;
 
   [[nodiscard]] const TileGrid& grid() const noexcept { return grid_; }
-  [[nodiscard]] std::size_t workers() const noexcept { return workers_.size(); }
+  [[nodiscard]] std::size_t workers() const noexcept { return threads_.size(); }
+  [[nodiscard]] std::size_t queue_depth() const { return sched_.depth(); }
 
  private:
-  struct Worker {
-    std::vector<detect::ProtectedGemmResult> scratch;  ///< per-tile, recycled
+  /// Ticket-table entry; guarded by mu_.
+  struct Slot {
+    TicketState state = TicketState::kQueued;
+    Request request;
+    std::string tenant;
+    std::optional<util::TimePoint> deadline;
+    std::uint64_t stream = 0;
+    Response response;
+    std::exception_ptr error;
   };
 
-  void process(Worker& w, const Request& rq, std::size_t index, Response& rsp);
+  /// Per-worker recycled buffers, keyed by activation row count so mixed
+  /// shapes in flight each reuse their own set (lives on the worker's stack).
+  struct WorkerScratch {
+    std::map<std::size_t, std::vector<detect::ProtectedGemmResult>> by_rows;
+  };
+
+  std::optional<Ticket> enqueue(Request&& request, const SubmitOptions& options, bool blocking);
+  void worker_loop();
+  void process(WorkerScratch& scratch, const Request& request, std::uint64_t stream,
+               Response& response);
 
   const TileGrid& grid_;
-  ServeConfig cfg_;
-  util::ThreadPool pool_;
-  std::vector<Worker> workers_;
-  ServeStats stats_;
+  const ServeConfig cfg_;
+  const util::Clock* clock_;  ///< cfg_.clock or the process-wide steady clock
+  Scheduler sched_;
+  TenantBook tenants_;
+
+  mutable std::mutex mu_;
+  std::condition_variable done_cv_;  ///< state transitions; wait()/drain() park here
+  std::unordered_map<std::uint64_t, Slot> slots_;
+  std::uint64_t next_id_ = 1;  ///< ticket ids; id-1 is the default stream tag
+  std::size_t inflight_ = 0;   ///< queued + running (drain()'s predicate)
+
+  // Engine-wide accounting; guarded by mu_.
+  ServeStats counters_;               ///< window_* fields unused here (see stats())
+  util::SlidingWindow latency_window_;
+
+  std::vector<std::thread> threads_;
 };
 
 }  // namespace realm::serve

@@ -1,0 +1,56 @@
+// Admission control + priority scheduling for the async serving engine: a
+// thin, typed façade over util::PriorityMpmcQueue that maps Priority lanes
+// and carries ticket ids (never payloads — request state lives in the
+// engine's ticket table, so queue items stay trivially movable).
+//
+// Admission policy:
+//  * admit() is the backpressure path — the submitting thread parks while the
+//    shared budget (queue_capacity across ALL lanes) is exhausted, exactly
+//    like a blocked accept() on a saturated front door.
+//  * try_admit() is the load-shedding path — full or closed means "rejected",
+//    and the caller surfaces that to the client instead of queueing unbounded
+//    work it can never serve by the deadline anyway.
+//
+// Dispatch: next() hands workers the most urgent queued ticket (strict
+// priority, FIFO within a lane) and keeps draining after close() until every
+// lane is empty — close is graceful, admitted work is never dropped.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "serve/ticket.h"
+#include "util/mpmc_queue.h"
+
+namespace realm::serve {
+
+class Scheduler {
+ public:
+  explicit Scheduler(std::size_t capacity) : queue_(capacity, kPriorityLanes) {}
+
+  /// Blocking admission: park under backpressure, false once closed.
+  bool admit(std::uint64_t ticket_id, Priority priority) {
+    return queue_.push(ticket_id, lane_of(priority));
+  }
+
+  /// Non-blocking admission: false when the budget is exhausted or the
+  /// scheduler is closed — the caller counts this as a rejection.
+  bool try_admit(std::uint64_t ticket_id, Priority priority) {
+    return queue_.try_push(ticket_id, lane_of(priority));
+  }
+
+  /// Worker side: blocks for the next most-urgent ticket; false once closed
+  /// and fully drained.
+  bool next(std::uint64_t& ticket_id) { return queue_.pop(ticket_id); }
+
+  /// Stop admitting; workers drain what remains. Idempotent.
+  void close() { queue_.close(); }
+
+  [[nodiscard]] std::size_t depth() const { return queue_.size(); }
+  [[nodiscard]] std::size_t capacity() const noexcept { return queue_.capacity(); }
+
+ private:
+  util::PriorityMpmcQueue<std::uint64_t> queue_;
+};
+
+}  // namespace realm::serve

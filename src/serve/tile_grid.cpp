@@ -74,20 +74,62 @@ void TileGrid::build(const tensor::MatI8& w8, tensor::QuantParams qw) {
   const std::size_t ntiles = (cols_ + cfg_.tile_cols - 1) / cfg_.tile_cols;
   tiles_.reserve(ntiles);
   origins_.reserve(ntiles);
+  widths_.reserve(ntiles);
   for (std::size_t origin = 0; origin < cols_; origin += cfg_.tile_cols) {
     const std::size_t width = std::min(cfg_.tile_cols, cols_ - origin);
     tensor::MatI8 slice(rows_, width);
     for (std::size_t r = 0; r < rows_; ++r) {
       std::memcpy(slice.row(r).data(), w8.row(r).data() + origin, width);
     }
-    tiles_.emplace_back(cfg_.detect);
-    tiles_.back().set_weights_quantized(std::move(slice), qw);
+    auto tile = std::make_shared<detect::ProtectedGemm>(cfg_.detect);
+    tile->set_weights_quantized(std::move(slice), qw);
+    tiles_.push_back(std::move(tile));
     origins_.push_back(origin);
+    widths_.push_back(width);
   }
 }
 
-std::size_t TileGrid::tile_width(std::size_t t) const {
-  return tiles_.at(t).weights().cols();
+TileGrid::TileHandle TileGrid::tile(std::size_t t) const {
+  const std::lock_guard<std::mutex> lock(swap_mu_);
+  return tiles_.at(t);
+}
+
+bool TileGrid::swap_tile(std::size_t t, tensor::MatI8 slice, tensor::QuantParams qw) {
+  if (t >= widths_.size()) throw std::invalid_argument("TileGrid: swap_tile index out of range");
+  if (slice.rows() != rows_ || slice.cols() != widths_[t]) {
+    throw std::invalid_argument("TileGrid: swap_tile slice shape must match the tile");
+  }
+  // Build and scrub the candidate entirely off to the side: the slot keeps
+  // serving the old tile until the new one is vouched end-to-end (panels
+  // packed, bases captured, verify_weight_integrity green).
+  auto candidate = std::make_shared<detect::ProtectedGemm>(cfg_.detect);
+  candidate->set_weights_quantized(std::move(slice), qw);
+  if (!candidate->verify_weight_integrity()) return false;
+  const std::lock_guard<std::mutex> lock(swap_mu_);
+  tiles_[t] = std::move(candidate);
+  ++swap_epoch_;
+  return true;
+}
+
+std::size_t TileGrid::swap_weights(const tensor::MatI8& w8, tensor::QuantParams qw) {
+  if (w8.rows() != rows_ || w8.cols() != cols_) {
+    throw std::invalid_argument("TileGrid: swap_weights shape must match the grid");
+  }
+  std::size_t installed = 0;
+  for (std::size_t t = 0; t < widths_.size(); ++t) {
+    tensor::MatI8 slice(rows_, widths_[t]);
+    for (std::size_t r = 0; r < rows_; ++r) {
+      std::memcpy(slice.row(r).data(), w8.row(r).data() + origins_[t], widths_[t]);
+    }
+    if (!swap_tile(t, std::move(slice), qw)) break;
+    ++installed;
+  }
+  return installed;
+}
+
+std::uint64_t TileGrid::swap_epoch() const {
+  const std::lock_guard<std::mutex> lock(swap_mu_);
+  return swap_epoch_;
 }
 
 void TileGrid::run_into(const tensor::MatI8& a8, tensor::QuantParams qa,
@@ -117,11 +159,15 @@ void TileGrid::run_tiles(const tensor::MatI8& a8, tensor::QuantParams qa,
   if (out.rows() != m || out.cols() != cols_) out = tensor::MatF(m, cols_);
   verdict.reset();
   for (std::size_t t = 0; t < tiles_.size(); ++t) {
+    // Snapshot the slot exactly once, right before running the tile: the
+    // request computes against entirely-old or entirely-new weights for THIS
+    // tile even if swap_tile lands mid-request (hot-swap contract above).
+    const TileHandle tile = this->tile(t);
     // Forked per tile so the fault stream depends only on (seed, tile), never
     // on which worker ran the tile or in what order — the determinism the
     // 1/2/8-thread tests pin down.
     util::Rng tile_rng = rng.fork(t);
-    tiles_[t].run_quantized_into(a8, qa, *injectors[t * stride], tile_rng, scratch[t]);
+    tile->run_quantized_into(a8, qa, *injectors[t * stride], tile_rng, scratch[t]);
     verdict.merge_tile(scratch[t].report, origins_[t]);
     const std::size_t width = scratch[t].output.cols();
     for (std::size_t r = 0; r < m; ++r) {
@@ -136,14 +182,14 @@ void TileGrid::run_raw_into(const tensor::MatI8& a8,
                             std::vector<tensor::MatI32>& scratch) const {
   scratch.resize(tiles_.size());
   for (std::size_t t = 0; t < tiles_.size(); ++t) {
-    const detect::ProtectedGemm& pg = tiles_[t];
-    tensor::gemm_i8_prepacked(a8, pg.weights(), pg.weight_panels(), scratch[t]);
+    const TileHandle pg = tile(t);
+    tensor::gemm_i8_prepacked(a8, pg->weights(), pg->weight_panels(), scratch[t]);
   }
 }
 
 bool TileGrid::verify_weight_integrity() const {
-  for (const auto& t : tiles_) {
-    if (!t.verify_weight_integrity()) return false;
+  for (std::size_t t = 0; t < widths_.size(); ++t) {
+    if (!tile(t)->verify_weight_integrity()) return false;
   }
   return true;
 }

@@ -18,16 +18,38 @@
 // request (BatchVerdict), and a detected tile recomputes only its own
 // O(m·k·width) slice instead of the full O(m·k·n) product.
 //
-// Thread safety: after construction TileGrid is immutable; run_into and
-// run_raw_into are const and may be called concurrently from any number of
-// threads PROVIDED each caller passes its own scratch/out buffers and its own
-// Rng (the contract ServeEngine's per-worker buffers satisfy). Per-tile
-// randomness is drawn from rng.fork(tile_index), so results depend only on
-// the seed handed in — never on scheduling or thread count.
+// Thread safety: the grid's geometry (rows/cols/tile origins/widths) is
+// immutable after construction. Tile CONTENTS are hot-swappable: each tile
+// slot holds a shared_ptr<const ProtectedGemm>, readers snapshot the pointer
+// per tile under a short lock and then run against the (immutable) snapshot,
+// and swap_tile() replaces the pointer the same way. run_into/run_raw_into
+// are const and may be called concurrently from any number of threads —
+// including concurrently with swap_tile — PROVIDED each caller passes its own
+// scratch/out buffers and its own Rng (the contract ServeEngine's per-worker
+// buffers satisfy). Per-tile randomness is drawn from rng.fork(tile_index),
+// so results depend only on the seed handed in — never on scheduling or
+// thread count.
+//
+// Hot-swap state machine (per tile slot):
+//
+//     [serving old]──swap_tile(slice)──>[scrub candidate off to the side]
+//          ^                                  │                │
+//          │ scrub fails: candidate dropped,  │ scrub passes   │
+//          └──────── old never stops serving ─┘                v
+//                                             [pointer install: serving new]
+//
+// A request snapshots each tile pointer exactly once, immediately before
+// running that tile — it computes against entirely-old or entirely-new tile
+// weights, NEVER against a half-swapped tile (ProtectedGemm is immutable, so
+// there is no such state to observe). Requests spanning a swap may mix old
+// and new tiles across DIFFERENT column ranges; each tile's checksum screen
+// still verifies its own slice exactly.
 #pragma once
 
 #include <cstddef>
 #include <cstdint>
+#include <memory>
+#include <mutex>
 #include <span>
 #include <vector>
 
@@ -86,6 +108,10 @@ struct BatchVerdict {
 
 class TileGrid {
  public:
+  /// Immutable snapshot of one tile's protected weights; holders keep the
+  /// tile alive across a concurrent swap_tile of the same slot.
+  using TileHandle = std::shared_ptr<const detect::ProtectedGemm>;
+
   /// Shard pre-quantized weights. Every tile shares `qw`, so the grid is
   /// numerically identical to an unsharded ProtectedGemm on the same matrix.
   TileGrid(const tensor::MatI8& w8, tensor::QuantParams qw, TileGridConfig cfg = {});
@@ -97,11 +123,36 @@ class TileGrid {
 
   [[nodiscard]] std::size_t rows() const noexcept { return rows_; }  ///< k
   [[nodiscard]] std::size_t cols() const noexcept { return cols_; }  ///< n
-  [[nodiscard]] std::size_t tile_count() const noexcept { return tiles_.size(); }
+  [[nodiscard]] std::size_t tile_count() const noexcept { return widths_.size(); }
   [[nodiscard]] std::size_t tile_origin(std::size_t t) const { return origins_.at(t); }
-  [[nodiscard]] std::size_t tile_width(std::size_t t) const;
-  [[nodiscard]] const detect::ProtectedGemm& tile(std::size_t t) const { return tiles_.at(t); }
+  [[nodiscard]] std::size_t tile_width(std::size_t t) const { return widths_.at(t); }
+  [[nodiscard]] TileHandle tile(std::size_t t) const;
   [[nodiscard]] const TileGridConfig& config() const noexcept { return cfg_; }
+
+  /// Zero-downtime weight update for one tile: builds a fresh ProtectedGemm
+  /// from `slice` (must be rows() x tile_width(t); same-shape swaps only —
+  /// the grid's geometry is immutable), scrubs the candidate with
+  /// verify_weight_integrity BEFORE it takes any traffic, and atomically
+  /// installs the pointer. Returns false (old tile keeps serving, candidate
+  /// dropped) if the scrub fails; throws std::invalid_argument on a shape
+  /// mismatch or bad tile index. Requests in flight keep their snapshots of
+  /// the old tile and complete against it.
+  ///
+  /// Tiles swapped with a different `qw` than their neighbours dequantize
+  /// their own columns with their own scale — numerically fine, but the grid
+  /// then no longer matches an unsharded single-scale run bit-for-bit.
+  bool swap_tile(std::size_t t, tensor::MatI8 slice, tensor::QuantParams qw);
+
+  /// Hot-swap the whole matrix tile by tile (the rolling-update loop):
+  /// slices `w8` (must be rows() x cols()) along the existing tile
+  /// boundaries and swap_tile()s each in ascending order. Returns the number
+  /// of tiles installed — equal to tile_count() unless a candidate failed
+  /// its scrub, in which case the roll-out stops there and every later tile
+  /// keeps its old weights.
+  std::size_t swap_weights(const tensor::MatI8& w8, tensor::QuantParams qw);
+
+  /// Successful swap_tile installs so far (0 for a freshly built grid).
+  [[nodiscard]] std::uint64_t swap_epoch() const;
 
   /// One request through every tile: per-tile protected GEMM (injector drawn
   /// against rng.fork(tile_index)) into recycled `scratch` (resized to
@@ -144,8 +195,12 @@ class TileGrid {
   TileGridConfig cfg_;
   std::size_t rows_ = 0;
   std::size_t cols_ = 0;
-  std::vector<detect::ProtectedGemm> tiles_;
+  /// Tile slots; pointer reads/writes guarded by swap_mu_, pointees immutable.
+  std::vector<TileHandle> tiles_;
   std::vector<std::size_t> origins_;
+  std::vector<std::size_t> widths_;
+  mutable std::mutex swap_mu_;
+  std::uint64_t swap_epoch_ = 0;  ///< guarded by swap_mu_
 };
 
 }  // namespace realm::serve

@@ -1,0 +1,53 @@
+// Deadline/latency clock abstraction for the serving engine.
+//
+// The async serve path compares request deadlines against "now" inside worker
+// threads. Wall-clock time in a test makes deadline behavior a race, so the
+// engine reads time through this one-virtual-call interface: production uses
+// the default steady_clock-backed Clock, deadline tests inject a ManualClock
+// and advance it by hand — expiry becomes a pure function of the script, not
+// of scheduler timing.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+
+namespace realm::util {
+
+/// Monotonic time as used for deadlines and rate windows. steady_clock on
+/// every platform this repo targets is int64 nanoseconds since boot.
+using TimePoint = std::chrono::steady_clock::time_point;
+using Duration = std::chrono::steady_clock::duration;
+
+/// Time source. The base class reads std::chrono::steady_clock; override
+/// now() to virtualize time. Implementations must be safe to call from any
+/// number of threads concurrently.
+class Clock {
+ public:
+  Clock() = default;
+  Clock(const Clock&) = delete;
+  Clock& operator=(const Clock&) = delete;
+  virtual ~Clock() = default;
+
+  [[nodiscard]] virtual TimePoint now() const noexcept { return std::chrono::steady_clock::now(); }
+};
+
+/// Manually advanced clock for deterministic deadline tests. Starts at tick 1
+/// (not 0) so a default-constructed TimePoint{} is always "in the past".
+class ManualClock final : public Clock {
+ public:
+  [[nodiscard]] TimePoint now() const noexcept override {
+    return TimePoint(Duration(ticks_.load(std::memory_order_acquire)));
+  }
+
+  void advance(Duration d) noexcept { ticks_.fetch_add(d.count(), std::memory_order_acq_rel); }
+
+  void set(TimePoint t) noexcept {
+    ticks_.store(t.time_since_epoch().count(), std::memory_order_release);
+  }
+
+ private:
+  std::atomic<Duration::rep> ticks_{1};
+};
+
+}  // namespace realm::util

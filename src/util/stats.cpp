@@ -4,6 +4,12 @@
 
 namespace realm::util {
 
+double SlidingWindow::quantile(double q) const {
+  // Ring order does not matter for a quantile; hand the live prefix (ring
+  // fills front-to-back until the first wrap) straight to util::quantile.
+  return util::quantile(std::span<const double>(ring_.data(), count()), q);
+}
+
 double quantile(std::span<const double> xs, double q) {
   if (xs.empty()) throw std::invalid_argument("quantile: empty sample");
   // A NaN q compares false against both clamp bounds, survives the clamp, and

@@ -100,6 +100,42 @@ class Histogram {
   std::uint64_t total_ = 0;
 };
 
+/// Fixed-capacity window over the most recent samples, for quantiles that
+/// stay meaningful under a continuous stream (a whole-history quantile goes
+/// stale; a per-batch quantile is noise once there are no batches). The async
+/// serving engine keeps its latency p50/p99 here.
+///
+/// Semantics: add() overwrites the oldest sample once `capacity` samples are
+/// held; quantile() is the exact util::quantile over whatever the window
+/// currently holds and therefore throws on an empty window (same contract).
+class SlidingWindow {
+ public:
+  explicit SlidingWindow(std::size_t capacity) : ring_(capacity) {
+    if (capacity == 0) throw std::invalid_argument("SlidingWindow: capacity must be >= 1");
+  }
+
+  void add(double x) noexcept {
+    ring_[next_] = x;
+    next_ = (next_ + 1) % ring_.size();
+    ++added_;
+  }
+
+  /// Samples currently in the window: min(total(), capacity()).
+  [[nodiscard]] std::size_t count() const noexcept { return std::min(added_, ring_.size()); }
+  /// Lifetime adds, including samples that have slid out.
+  [[nodiscard]] std::size_t total() const noexcept { return added_; }
+  [[nodiscard]] std::size_t capacity() const noexcept { return ring_.size(); }
+
+  /// Exact quantile over the current window (see util::quantile for the q
+  /// contract). Throws std::invalid_argument on an empty window.
+  [[nodiscard]] double quantile(double q) const;
+
+ private:
+  std::vector<double> ring_;
+  std::size_t next_ = 0;
+  std::size_t added_ = 0;
+};
+
 /// Exact quantile of a sample (copies + nth_element; fine for eval-sized
 /// data), using the nearest-rank index round(q * (n - 1)).
 ///

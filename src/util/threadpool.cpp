@@ -126,6 +126,8 @@ struct ThreadPool::Impl {
   std::mutex submit_mu;  ///< serializes concurrent parallel_for callers
 };
 
+void mark_thread_as_pool_worker() noexcept { t_inside_pool = true; }
+
 ThreadPool::ThreadPool(std::size_t threads) : impl_(new Impl(threads)) {}
 
 ThreadPool::~ThreadPool() { delete impl_; }

@@ -52,6 +52,15 @@ class ThreadPool {
   Impl* impl_;
 };
 
+/// Mark the CALLING thread as a pool worker for the nesting rule above: every
+/// parallel_for issued from this thread (on any pool) runs inline from now
+/// on. For long-lived worker threads that live outside ThreadPool — the async
+/// serve engine's persistent workers — which need each request's GEMM pinned
+/// to the worker instead of fanning out onto (and deadlocking against) the
+/// global pool. Sticky for the thread's lifetime; ThreadPool's own workers
+/// set it implicitly.
+void mark_thread_as_pool_worker() noexcept;
+
 /// Process-wide pool used by the GEMM kernels. Defaults to 1 thread (serial)
 /// unless the REALM_THREADS environment variable names a larger count at
 /// first use; resizable at runtime via set_global_threads().

@@ -1,0 +1,22 @@
+// Fixture: constructs an Rng from a raw per-worker seed inside a worker_loop
+// body. The fault stream now depends on which worker claimed the request (and
+// therefore on the worker count and queue timing), so verdicts stop being a
+// pure function of (seed, request, stream) — realm-lint must flag this as
+// rng-fork. The correct pattern is util::Rng(seed).fork(stream) with the
+// stream tag carried on the ticket.
+#include <cstdint>
+
+#include "util/rng.h"
+
+namespace realm::serve {
+
+std::uint64_t next_ticket(std::uint64_t w);
+
+void worker_loop(std::uint64_t worker_id, std::uint64_t seed) {
+  while (const std::uint64_t id = next_ticket(worker_id)) {
+    util::Rng rng(seed + worker_id);  // BAD: stream coupled to the claiming worker
+    (void)rng.uniform_u64(id);
+  }
+}
+
+}  // namespace realm::serve

@@ -11,6 +11,7 @@
 #include "realm_test.h"
 
 using realm::util::MpmcQueue;
+using realm::util::PriorityMpmcQueue;
 
 REALM_TEST(fifo_order_and_close_semantics) {
   MpmcQueue<int> q(8);
@@ -172,6 +173,71 @@ REALM_TEST(stressed_mpmc_with_mid_stream_close_loses_nothing_already_queued) {
   REALM_CHECK_EQ(popped_sum.load(), pushed_sum.load());
   std::uint64_t v = 0;
   REALM_CHECK(!q.pop(v));  // nothing stranded in the ring
+}
+
+REALM_TEST(priority_lanes_pop_in_priority_order) {
+  // Lane 0 is most urgent; pop() always drains the lowest non-empty lane and
+  // preserves FIFO within a lane regardless of push interleaving.
+  PriorityMpmcQueue<int> q(8, 3);
+  REALM_CHECK_EQ(q.lane_count(), std::size_t{3});
+  REALM_CHECK(q.push(20, 2));
+  REALM_CHECK(q.push(10, 1));
+  REALM_CHECK(q.push(21, 2));
+  REALM_CHECK(q.push(0, 0));
+  REALM_CHECK(q.push(11, 1));
+  REALM_CHECK_EQ(q.size(), std::size_t{5});  // size is TOTAL across lanes
+  int v = -1;
+  const int want[] = {0, 10, 11, 20, 21};
+  for (const int w : want) {
+    REALM_CHECK(q.pop(v));
+    REALM_CHECK_EQ(v, w);
+  }
+  // Lane indices are validated loudly, and degenerate shapes are rejected.
+  REALM_CHECK_THROWS(q.push(1, 3), std::out_of_range);
+  REALM_CHECK_THROWS(q.try_push(1, 99), std::out_of_range);
+  REALM_CHECK_THROWS(PriorityMpmcQueue<int>(0, 3), std::invalid_argument);
+  REALM_CHECK_THROWS(PriorityMpmcQueue<int>(8, 0), std::invalid_argument);
+}
+
+REALM_TEST(priority_try_push_sheds_load_at_capacity) {
+  // The admission bound is shared across lanes: once TOTAL depth hits
+  // capacity, try_push rejects on EVERY lane — urgency does not buy a
+  // deeper queue, only an earlier pop.
+  PriorityMpmcQueue<int> q(2, 3);
+  REALM_CHECK(q.try_push(1, 2));
+  REALM_CHECK(q.try_push(2, 1));
+  REALM_CHECK(!q.try_push(3, 0));  // full: even the urgent lane is refused
+  REALM_CHECK_EQ(q.size(), q.capacity());
+  int v = -1;
+  REALM_CHECK(q.pop(v));
+  REALM_CHECK_EQ(v, 2);            // lane 1 outranks lane 2
+  REALM_CHECK(q.try_push(3, 0));   // a pop frees shared budget for any lane
+  q.close();
+  REALM_CHECK(!q.try_push(9, 0));  // closed beats non-full
+}
+
+REALM_TEST(priority_close_drains_lanes_in_order_and_releases_blocked) {
+  // close() is end-of-input, not discard: queued items across all lanes
+  // drain in strict priority order before pop() reports end of stream, and a
+  // producer parked on a full queue wakes with a rejection.
+  PriorityMpmcQueue<int> q(3, 2);
+  REALM_CHECK(q.push(5, 1));
+  REALM_CHECK(q.push(6, 1));
+  REALM_CHECK(q.push(1, 0));
+  std::atomic<bool> push_result{true};
+  std::thread producer([&] { push_result = q.push(7, 0); });  // parks: full
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  q.close();
+  producer.join();
+  REALM_CHECK(!push_result.load());
+  int v = -1;
+  const int want[] = {1, 5, 6};  // urgent lane first, then lane-1 FIFO
+  for (const int w : want) {
+    REALM_CHECK(q.pop(v));
+    REALM_CHECK_EQ(v, w);
+  }
+  REALM_CHECK(!q.pop(v));  // drained + closed
+  REALM_CHECK(q.closed());
 }
 
 REALM_TEST_MAIN()

@@ -1,15 +1,22 @@
 #include "serve/engine.h"
 #include "serve/tile_grid.h"
 
+#include <algorithm>
+#include <condition_variable>
+#include <chrono>
 #include <cstdint>
+#include <mutex>
 #include <stdexcept>
+#include <utility>
 #include <vector>
 
 #include "detect/detect.h"
 #include "fault/fault.h"
 #include "realm_test.h"
+#include "serve/ticket.h"
 #include "tensor/quant.h"
 #include "tensor/tensor.h"
+#include "util/clock.h"
 #include "util/rng.h"
 
 using namespace realm::serve;
@@ -24,6 +31,79 @@ MatI8 random_i8(std::size_t rows, std::size_t cols, Rng& rng) {
   MatI8 m(rows, cols);
   for (auto& x : m.flat()) x = static_cast<std::int8_t>(rng.uniform_int(-127, 127));
   return m;
+}
+
+/// Injector that corrupts nothing but parks the worker until released —
+/// the deterministic control knob for "a worker is busy right now" in the
+/// deadline, priority, and lifecycle tests. Use on single-tile grids so one
+/// request means exactly one inject() call.
+class GateInjector final : public FaultInjector {
+ public:
+  InjectionReport inject(std::span<std::int32_t> /*data*/, realm::util::Rng& /*rng*/,
+                         std::vector<FlipRecord>* /*record*/) const override {
+    std::unique_lock<std::mutex> lock(mu_);
+    ++arrived_;
+    cv_.notify_all();
+    cv_.wait(lock, [&] { return open_; });
+    return {};
+  }
+
+  /// Block until `n` inject() calls have arrived (30s safety timeout).
+  [[nodiscard]] bool wait_arrived(int n) const {
+    std::unique_lock<std::mutex> lock(mu_);
+    return cv_.wait_for(lock, std::chrono::seconds(30), [&] { return arrived_ >= n; });
+  }
+
+  void open() const {
+    const std::lock_guard<std::mutex> lock(mu_);
+    open_ = true;
+    cv_.notify_all();
+  }
+
+ private:
+  mutable std::mutex mu_;
+  mutable std::condition_variable cv_;
+  mutable int arrived_ = 0;
+  mutable bool open_ = false;
+};
+
+/// Opens the gate on scope exit so a failing REALM_CHECK can never strand the
+/// engine destructor behind a parked worker. Declare AFTER the engine.
+struct GateOpener {
+  const GateInjector& gate;
+  ~GateOpener() { gate.open(); }
+};
+
+/// Corrupts nothing; appends its tag to a shared log on every inject() call.
+/// On a single-tile grid the log is exactly the order workers claimed work.
+class RecordingInjector final : public FaultInjector {
+ public:
+  RecordingInjector(int tag, std::vector<int>* log, std::mutex* mu)
+      : tag_(tag), log_(log), mu_(mu) {}
+
+  InjectionReport inject(std::span<std::int32_t> /*data*/, realm::util::Rng& /*rng*/,
+                         std::vector<FlipRecord>* /*record*/) const override {
+    const std::lock_guard<std::mutex> lock(*mu_);
+    log_->push_back(tag_);
+    return {};
+  }
+
+ private:
+  int tag_;
+  std::vector<int>* log_;
+  std::mutex* mu_;
+};
+
+/// Golden reference for one request: the exact fault-stream contract the
+/// engine documents — seed forked by stream, then by tile inside the grid.
+MatF grid_reference(const TileGrid& grid, const MatI8& a8, QuantParams qa, std::uint64_t seed,
+                    std::uint64_t stream) {
+  std::vector<ProtectedGemmResult> scratch;
+  MatF out;
+  BatchVerdict bv;
+  const NullInjector none;
+  grid.run_into(a8, qa, none, Rng(seed).fork(stream), scratch, out, bv);
+  return out;
 }
 
 }  // namespace
@@ -101,6 +181,7 @@ REALM_TEST(all_clean_grid_bit_identical_to_unsharded) {
   REALM_CHECK_EQ(grid.tile_width(3), std::size_t{4});
   REALM_CHECK_EQ(grid.tile_origin(3), std::size_t{96});
   REALM_CHECK(grid.verify_weight_integrity());
+  REALM_CHECK_EQ(grid.swap_epoch(), std::uint64_t{0});
 
   std::vector<ProtectedGemmResult> scratch;
   MatF out;
@@ -201,8 +282,9 @@ REALM_TEST(multi_tile_faults_aggregate_worst_verdict) {
 
 REALM_TEST(engine_deterministic_at_1_2_8_workers) {
   // The whole point of per-request forked fault streams: verdicts and outputs
-  // are a pure function of (seed, requests) — identical at any worker count
-  // and any queue interleaving.
+  // are a pure function of (seed, request, stream) — identical at any worker
+  // count and any queue interleaving. This exercises the synchronous shim
+  // (stream pinned to the batch index) across worker counts.
   Rng rng(104);
   const std::size_t k = 32, n = 96, m = 8, nreq = 12;
   const MatI8 w8 = random_i8(k, n, rng);
@@ -227,15 +309,18 @@ REALM_TEST(engine_deterministic_at_1_2_8_workers) {
   for (const std::size_t workers : {std::size_t{1}, std::size_t{2}, std::size_t{8}}) {
     ServeConfig scfg;
     scfg.workers = workers;
-    scfg.queue_capacity = 3;  // force backpressure on the wider runs
+    scfg.queue_capacity = 3;  // force admission backpressure on the wider runs
     scfg.seed = 0xfeed;
     ServeEngine engine(grid, scfg);
     runs.push_back(engine.serve(reqs));
-    const ServeStats& st = engine.stats();
-    REALM_CHECK_EQ(st.requests, std::uint64_t{nreq});
+    const ServeStats st = engine.stats();
+    REALM_CHECK_EQ(st.submitted, std::uint64_t{nreq});
+    REALM_CHECK_EQ(st.completed, std::uint64_t{nreq});
+    REALM_CHECK_EQ(st.expired, std::uint64_t{0});
     REALM_CHECK_EQ(st.tiles_screened, std::uint64_t{nreq * grid.tile_count()});
     REALM_CHECK_EQ(st.latency_ms.count(), std::size_t{nreq});
-    REALM_CHECK(st.p99_ms >= st.p50_ms);
+    REALM_CHECK_EQ(st.window_count, std::size_t{nreq});
+    REALM_CHECK(st.window_p99_ms >= st.window_p50_ms);
   }
   for (std::size_t w = 1; w < runs.size(); ++w) {
     for (std::size_t i = 0; i < nreq; ++i) {
@@ -250,30 +335,450 @@ REALM_TEST(engine_deterministic_at_1_2_8_workers) {
   }
 }
 
-REALM_TEST(engine_recycles_buffers_and_accumulates_stats) {
-  Rng rng(105);
+REALM_TEST(async_submit_matches_shim_under_randomized_interleavings) {
+  // Pinned streams make outputs independent of HOW requests reach the
+  // engine: submit in seeded-random order, with random priorities and
+  // tenants, at 1/2/8 workers — every run must match the synchronous shim
+  // bit for bit, request for request.
+  Rng rng(107);
+  const std::size_t k = 32, n = 96, m = 8, nreq = 16;
+  const MatI8 w8 = random_i8(k, n, rng);
+  const QuantParams qw{0.02f}, qa{0.05f};
+  TileGridConfig gcfg;
+  gcfg.tile_cols = 32;
+  const TileGrid grid(w8, qw, gcfg);
+
+  std::vector<MatI8> acts;
+  acts.reserve(nreq);
+  for (std::size_t i = 0; i < nreq; ++i) acts.push_back(random_i8(m, k, rng));
+  const RandomBitFlipInjector flips(0.002, 20, 30);
+  std::vector<Request> reqs(nreq);
+  for (std::size_t i = 0; i < nreq; ++i) {
+    reqs[i].a8 = &acts[i];
+    reqs[i].qa = qa;
+    reqs[i].injector = (i % 4 == 1) ? &flips : nullptr;
+  }
+
+  ServeConfig ref_cfg;
+  ref_cfg.seed = 0xcafe;
+  ServeEngine ref_engine(grid, ref_cfg);
+  const std::vector<Response> ref = ref_engine.serve(reqs);
+
+  Rng shuffle_rng(0x5eed);
+  const Priority lanes[] = {Priority::kInteractive, Priority::kNormal, Priority::kBatch};
+  for (const std::size_t workers : {std::size_t{1}, std::size_t{2}, std::size_t{8}}) {
+    // Seeded Fisher–Yates: a different submit interleaving per worker count,
+    // reproducible across runs.
+    std::vector<std::size_t> order(nreq);
+    for (std::size_t i = 0; i < nreq; ++i) order[i] = i;
+    for (std::size_t i = nreq - 1; i > 0; --i) {
+      const auto j = static_cast<std::size_t>(
+          shuffle_rng.uniform_int(0, static_cast<std::int64_t>(i)));
+      std::swap(order[i], order[j]);
+    }
+
+    ServeConfig scfg;
+    scfg.workers = workers;
+    scfg.queue_capacity = 4;
+    scfg.seed = 0xcafe;
+    ServeEngine engine(grid, scfg);
+    std::vector<Ticket> tickets(nreq);
+    for (const std::size_t i : order) {
+      SubmitOptions opt;
+      opt.stream = i;  // pinned: the shim's stream for batch index i
+      opt.priority = lanes[i % 3];
+      opt.tenant = (i % 2 == 0) ? "even" : "odd";
+      tickets[i] = engine.submit(reqs[i], opt);
+    }
+    for (std::size_t i = 0; i < nreq; ++i) {
+      const Response rsp = engine.wait(tickets[i]);
+      REALM_CHECK(!rsp.expired);
+      REALM_CHECK(rsp.output == ref[i].output);
+      REALM_CHECK(rsp.verdict.verdict == ref[i].verdict.verdict);
+      REALM_CHECK(rsp.verdict.fault_cols == ref[i].verdict.fault_cols);
+      REALM_CHECK(rsp.verdict.fault_rows == ref[i].verdict.fault_rows);
+      REALM_CHECK_EQ(rsp.verdict.injection.flipped_bits, ref[i].verdict.injection.flipped_bits);
+    }
+    REALM_CHECK_EQ(engine.tenant_stats("even").completed, std::uint64_t{nreq / 2});
+    REALM_CHECK_EQ(engine.tenant_stats("odd").completed, std::uint64_t{nreq / 2});
+  }
+}
+
+REALM_TEST(deadline_expiry_edge_cases) {
+  // ManualClock makes expiry a pure function of the script: a deadline in
+  // the past expires at claim time, deadline == now does NOT (expiry is
+  // strictly now > deadline), and a future deadline expires only if the
+  // clock actually passes it while the request is still queued. Expired
+  // requests never compute and never disturb other requests' fault streams.
+  Rng rng(108);
+  const std::size_t k = 16, n = 24, m = 4;
+  const QuantParams qw{0.02f}, qa{0.05f};
+  const MatI8 w8 = random_i8(k, n, rng);
+  TileGridConfig gcfg;
+  gcfg.tile_cols = n;  // single tile: one request == one inject() call
+  const TileGrid grid(w8, qw, gcfg);
+  const MatI8 a8 = random_i8(m, k, rng);
+
+  realm::util::ManualClock clock;
+  const GateInjector gate;
+  ServeConfig scfg;
+  scfg.workers = 1;
+  scfg.queue_capacity = 8;
+  scfg.seed = 0xd1e;
+  scfg.clock = &clock;
+  ServeEngine engine(grid, scfg);
+  const GateOpener opener{gate};
+
+  const auto t0 = clock.now();
+  Request gated = Request::borrow(a8, qa, &gate);
+  SubmitOptions gopt;
+  gopt.stream = 100;
+  const Ticket tg = engine.submit(gated, gopt);
+  REALM_CHECK(gate.wait_arrived(1));  // worker is parked inside the gate
+
+  // Queued while the worker is busy; claimed only after the gate opens.
+  SubmitOptions past;   // deadline strictly in the past: must expire
+  past.deadline = t0 - std::chrono::nanoseconds(1);
+  past.stream = 101;
+  SubmitOptions at_now;  // deadline == now: must NOT expire (strict >)
+  at_now.deadline = t0;
+  at_now.stream = 102;
+  SubmitOptions none;   // no deadline
+  none.stream = 103;
+  const Ticket tpast = engine.submit(Request::borrow(a8, qa), past);
+  const Ticket tnow = engine.submit(Request::borrow(a8, qa), at_now);
+  const Ticket tnone = engine.submit(Request::borrow(a8, qa), none);
+  REALM_CHECK(engine.poll(tpast) == TicketState::kQueued);
+
+  gate.open();
+  const Response rg = engine.wait(tg);
+  REALM_CHECK(!rg.expired);
+
+  const Response rpast = engine.wait(tpast);
+  REALM_CHECK(rpast.expired);
+  REALM_CHECK_EQ(rpast.output.rows(), std::size_t{0});  // never computed
+  const Response rnow = engine.wait(tnow);
+  REALM_CHECK(!rnow.expired);
+  const Response rnone = engine.wait(tnone);
+  REALM_CHECK(!rnone.expired);
+  // Non-expired outputs are exactly their stream's golden runs — the expired
+  // neighbour shifted nothing.
+  REALM_CHECK(rnow.output == grid_reference(grid, a8, qa, scfg.seed, 102));
+  REALM_CHECK(rnone.output == grid_reference(grid, a8, qa, scfg.seed, 103));
+
+  // A future deadline expires iff the clock passes it while queued.
+  const GateInjector gate2;
+  const GateOpener opener2{gate2};
+  SubmitOptions gopt2;
+  gopt2.stream = 200;
+  const Ticket tg2 = engine.submit(Request::borrow(a8, qa, &gate2), gopt2);
+  REALM_CHECK(gate2.wait_arrived(1));
+  SubmitOptions future;
+  future.deadline = clock.now() + std::chrono::seconds(5);
+  future.stream = 201;
+  const Ticket tfuture = engine.submit(Request::borrow(a8, qa), future);
+  clock.advance(std::chrono::seconds(10));  // sail past the deadline in-queue
+  gate2.open();
+  const Response rg2 = engine.wait(tg2);
+  REALM_CHECK(!rg2.expired);
+  const Response rfuture = engine.wait(tfuture);
+  REALM_CHECK(rfuture.expired);
+
+  const ServeStats st = engine.stats();
+  REALM_CHECK_EQ(st.expired, std::uint64_t{2});
+  REALM_CHECK_EQ(st.completed, std::uint64_t{4});
+  REALM_CHECK_EQ(st.failed, std::uint64_t{0});
+  const TenantStats ts = engine.tenant_stats(kDefaultTenant);
+  REALM_CHECK_EQ(ts.expired, std::uint64_t{2});
+  REALM_CHECK_EQ(ts.completed, std::uint64_t{4});
+}
+
+REALM_TEST(hot_swap_under_load_never_mixes_tiles) {
+  // Swap every tile to new weights while traffic is in flight. Zero requests
+  // may drop or mis-verdict, and every response's per-tile column slice must
+  // bit-equal EITHER the all-old or the all-new reference for that tile —
+  // a blend would mean a request observed a half-swapped tile.
+  Rng rng(109);
+  const std::size_t k = 32, n = 64, m = 8, nreq = 32;
+  const QuantParams qw{0.02f}, qa{0.05f};
+  const MatI8 w_old = random_i8(k, n, rng);
+  const MatI8 w_new = random_i8(k, n, rng);
+  TileGridConfig gcfg;
+  gcfg.tile_cols = 16;  // 4 tiles
+  const TileGrid grid_old(w_old, qw, gcfg);
+  const TileGrid grid_new(w_new, qw, gcfg);
+
+  std::vector<MatI8> acts;
+  acts.reserve(nreq);
+  for (std::size_t i = 0; i < nreq; ++i) acts.push_back(random_i8(m, k, rng));
+
+  const std::uint64_t seed = 0x50ab;
+  std::vector<MatF> ref_old, ref_new;
+  ref_old.reserve(nreq);
+  ref_new.reserve(nreq);
+  for (std::size_t i = 0; i < nreq; ++i) {
+    ref_old.push_back(grid_reference(grid_old, acts[i], qa, seed, i));
+    ref_new.push_back(grid_reference(grid_new, acts[i], qa, seed, i));
+  }
+
+  TileGrid grid(w_old, qw, gcfg);  // the live, hot-swapped grid
+  ServeConfig scfg;
+  scfg.workers = 4;
+  scfg.queue_capacity = 8;
+  scfg.seed = seed;
+  ServeEngine engine(grid, scfg);
+
+  std::vector<Ticket> tickets;
+  tickets.reserve(nreq);
+  for (std::size_t i = 0; i < nreq; ++i) {
+    if (i == nreq / 2) {
+      // Roll every tile mid-stream, against live traffic.
+      REALM_CHECK_EQ(grid.swap_weights(w_new, qw), grid.tile_count());
+    }
+    SubmitOptions opt;
+    opt.stream = i;
+    tickets.push_back(engine.submit(Request::borrow(acts[i], qa), opt));
+  }
+
+  for (std::size_t i = 0; i < nreq; ++i) {
+    const Response rsp = engine.wait(tickets[i]);
+    REALM_CHECK(!rsp.expired);
+    REALM_CHECK(rsp.verdict.verdict == Verdict::kClean);  // no mis-verdicts
+    for (std::size_t t = 0; t < grid.tile_count(); ++t) {
+      const std::size_t origin = grid.tile_origin(t);
+      const std::size_t width = grid.tile_width(t);
+      bool matches_old = true, matches_new = true;
+      for (std::size_t r = 0; r < m; ++r) {
+        for (std::size_t c = 0; c < width; ++c) {
+          matches_old = matches_old && rsp.output(r, origin + c) == ref_old[i](r, origin + c);
+          matches_new = matches_new && rsp.output(r, origin + c) == ref_new[i](r, origin + c);
+        }
+      }
+      REALM_CHECK(matches_old || matches_new);  // whole-tile old or whole-tile new
+    }
+  }
+  const ServeStats st = engine.stats();
+  REALM_CHECK_EQ(st.completed, std::uint64_t{nreq});
+  REALM_CHECK_EQ(st.expired, std::uint64_t{0});
+  REALM_CHECK_EQ(st.failed, std::uint64_t{0});
+  REALM_CHECK_EQ(grid.swap_epoch(), static_cast<std::uint64_t>(grid.tile_count()));
+  REALM_CHECK(grid.verify_weight_integrity());
+}
+
+REALM_TEST(swap_tile_misuse_and_output_switch) {
+  Rng rng(110);
   const std::size_t k = 16, n = 32, m = 4;
+  const QuantParams qw{0.02f}, qa{0.05f};
+  const MatI8 w_old = random_i8(k, n, rng);
+  const MatI8 w_new = random_i8(k, n, rng);
+  TileGridConfig gcfg;
+  gcfg.tile_cols = 16;  // 2 tiles
+  TileGrid grid(w_old, qw, gcfg);
+
+  // Geometry is immutable: wrong index and wrong shape are loud errors.
+  REALM_CHECK_THROWS(grid.swap_tile(2, random_i8(k, 16, rng), qw), std::invalid_argument);
+  REALM_CHECK_THROWS(grid.swap_tile(0, random_i8(k, 8, rng), qw), std::invalid_argument);
+  REALM_CHECK_THROWS(grid.swap_tile(0, random_i8(k / 2, 16, rng), qw), std::invalid_argument);
+  REALM_CHECK_THROWS(grid.swap_weights(random_i8(k, n / 2, rng), qw), std::invalid_argument);
+  REALM_CHECK_EQ(grid.swap_epoch(), std::uint64_t{0});
+
+  // A full rolling swap re-points every tile: subsequent traffic computes
+  // against the new weights bit-for-bit, and the scrub stays green.
+  REALM_CHECK_EQ(grid.swap_weights(w_new, qw), std::size_t{2});
+  REALM_CHECK_EQ(grid.swap_epoch(), std::uint64_t{2});
+  REALM_CHECK(grid.verify_weight_integrity());
+
+  const MatI8 a8 = random_i8(m, k, rng);
+  const TileGrid grid_new(w_new, qw, gcfg);
+  ServeConfig scfg;
+  scfg.seed = 0xab1e;
+  ServeEngine engine(grid, scfg);
+  SubmitOptions opt;
+  opt.stream = 0;
+  const Response rsp = engine.wait(engine.submit(Request::borrow(a8, qa), opt));
+  REALM_CHECK(rsp.verdict.verdict == Verdict::kClean);
+  REALM_CHECK(rsp.output == grid_reference(grid_new, a8, qa, scfg.seed, 0));
+}
+
+REALM_TEST(mixed_shapes_in_flight_share_workers) {
+  // Interleaved request heights through the same engine: per-worker scratch
+  // is keyed by row count, so every shape must come back exactly equal to
+  // its stream's golden run — no cross-shape buffer contamination.
+  Rng rng(111);
+  const std::size_t k = 24, n = 48;
+  const QuantParams qw{0.02f}, qa{0.05f};
+  const TileGrid grid(random_i8(k, n, rng), qw, TileGridConfig{16, {}});
+
+  const std::size_t heights[] = {3, 8, 17};
+  std::vector<MatI8> acts;
+  const std::size_t nreq = 12;
+  acts.reserve(nreq);
+  for (std::size_t i = 0; i < nreq; ++i) {
+    acts.push_back(random_i8(heights[i % 3], k, rng));
+  }
+
+  ServeConfig scfg;
+  scfg.workers = 2;
+  scfg.queue_capacity = 4;
+  scfg.seed = 0x3a9e;
+  ServeEngine engine(grid, scfg);
+  std::vector<Ticket> tickets;
+  tickets.reserve(nreq);
+  for (std::size_t i = 0; i < nreq; ++i) {
+    SubmitOptions opt;
+    opt.stream = i;
+    tickets.push_back(engine.submit(Request::borrow(acts[i], qa), opt));
+  }
+  for (std::size_t i = 0; i < nreq; ++i) {
+    const Response rsp = engine.wait(tickets[i]);
+    REALM_CHECK_EQ(rsp.output.rows(), heights[i % 3]);
+    REALM_CHECK_EQ(rsp.output.cols(), n);
+    REALM_CHECK(rsp.output == grid_reference(grid, acts[i], qa, scfg.seed, i));
+  }
+}
+
+REALM_TEST(priority_lanes_and_admission_rejection) {
+  // One worker parked in a gate, three queued requests at capacity: the
+  // interactive submission must run before the earlier batch ones (strict
+  // priority, FIFO within a lane), and a fourth submission must be shed by
+  // try_submit with a rejected tally — never silently queued past the bound.
+  Rng rng(112);
+  const std::size_t k = 16, n = 24, m = 4;
+  const QuantParams qw{0.02f}, qa{0.05f};
+  TileGridConfig gcfg;
+  gcfg.tile_cols = n;  // single tile: the injector log IS the claim order
+  const TileGrid grid(random_i8(k, n, rng), qw, gcfg);
+  const MatI8 a8 = random_i8(m, k, rng);
+
+  std::mutex log_mu;
+  std::vector<int> log;
+  const RecordingInjector rec1(1, &log, &log_mu);
+  const RecordingInjector rec2(2, &log, &log_mu);
+  const RecordingInjector rec3(3, &log, &log_mu);
+  const GateInjector gate;
+
+  ServeConfig scfg;
+  scfg.workers = 1;
+  scfg.queue_capacity = 3;
+  ServeEngine engine(grid, scfg);
+  const GateOpener opener{gate};
+
+  const Ticket tg = engine.submit(Request::borrow(a8, qa, &gate));
+  REALM_CHECK(gate.wait_arrived(1));
+
+  SubmitOptions batch;
+  batch.priority = Priority::kBatch;
+  batch.tenant = "free";
+  const Ticket t1 = engine.submit(Request::borrow(a8, qa, &rec1), batch);
+  const Ticket t2 = engine.submit(Request::borrow(a8, qa, &rec2), batch);
+  SubmitOptions inter;
+  inter.priority = Priority::kInteractive;
+  inter.tenant = "pro";
+  const Ticket t3 = engine.submit(Request::borrow(a8, qa, &rec3), inter);
+
+  // Budget exhausted (3 queued, worker busy): shed, don't park.
+  REALM_CHECK(!engine.try_submit(Request::borrow(a8, qa), batch).has_value());
+  REALM_CHECK_EQ(engine.stats().rejected, std::uint64_t{1});
+  REALM_CHECK_EQ(engine.tenant_stats("free").rejected, std::uint64_t{1});
+  REALM_CHECK(engine.poll(t3) == TicketState::kQueued);
+
+  gate.open();
+  engine.drain();
+  REALM_CHECK(engine.poll(t1) == TicketState::kDone);
+  const std::vector<int> want{3, 1, 2};  // interactive first, then batch FIFO
+  REALM_CHECK(log == want);
+
+  (void)engine.wait(tg);
+  (void)engine.wait(t1);
+  (void)engine.wait(t2);
+  (void)engine.wait(t3);
+  REALM_CHECK_EQ(engine.tenant_stats("pro").completed, std::uint64_t{1});
+  REALM_CHECK_EQ(engine.tenant_stats("free").completed, std::uint64_t{2});
+  const std::vector<std::string> names = engine.tenants();
+  REALM_CHECK_EQ(names.size(), std::size_t{3});  // default, free, pro (sorted)
+  REALM_CHECK(names[0] == kDefaultTenant && names[1] == "free" && names[2] == "pro");
+  REALM_CHECK_THROWS((void)engine.tenant_stats("nobody"), std::invalid_argument);
+}
+
+REALM_TEST(owned_requests_and_ticket_lifecycle) {
+  // The async lifetime fix: Request::own() carries the activation, so the
+  // caller's buffer can die before a worker ever touches the request. The
+  // ticket itself is single-use — wait() consumes it.
+  Rng rng(113);
+  const std::size_t k = 16, n = 24, m = 4;
+  const QuantParams qw{0.02f}, qa{0.05f};
+  TileGridConfig gcfg;
+  gcfg.tile_cols = n;  // single tile for the gate
+  const TileGrid grid(random_i8(k, n, rng), qw, gcfg);
+  const MatI8 a8 = random_i8(m, k, rng);
+
+  const GateInjector gate;
+  ServeConfig scfg;
+  scfg.workers = 1;
+  scfg.queue_capacity = 4;
+  scfg.seed = 0x0eed;
+  ServeEngine engine(grid, scfg);
+  const GateOpener opener{gate};
+
+  const Ticket tg = engine.submit(Request::borrow(a8, qa, &gate));
+  REALM_CHECK(gate.wait_arrived(1));
+
+  MatF ref;
+  Ticket towned;
+  {
+    // The source buffer lives only in this scope; the worker is parked, so
+    // it CANNOT run before the scope ends — the owned copy must carry it.
+    MatI8 ephemeral = random_i8(m, k, rng);
+    ref = grid_reference(grid, ephemeral, qa, scfg.seed, 7);
+    SubmitOptions opt;
+    opt.stream = 7;
+    towned = engine.submit(Request::own(std::move(ephemeral), qa), opt);
+    REALM_CHECK(engine.poll(towned) == TicketState::kQueued);
+  }
+  gate.open();
+  (void)engine.wait(tg);
+  const Response rsp = engine.wait(towned);
+  REALM_CHECK(!rsp.expired);
+  REALM_CHECK(rsp.output == ref);
+
+  // wait() consumed the ticket: a second wait (or poll) is a loud error.
+  REALM_CHECK_THROWS((void)engine.wait(towned), std::invalid_argument);
+  REALM_CHECK_THROWS((void)engine.poll(towned), std::invalid_argument);
+  REALM_CHECK_THROWS((void)engine.poll(Ticket{}), std::invalid_argument);
+  REALM_CHECK_THROWS((void)engine.wait(Ticket{987654}), std::invalid_argument);
+}
+
+REALM_TEST(stats_window_slides_and_reset_clears) {
+  Rng rng(114);
+  const std::size_t k = 16, n = 16, m = 4;
   const TileGrid grid(random_i8(k, n, rng), QuantParams{0.02f}, TileGridConfig{16, {}});
   const MatI8 a8 = random_i8(m, k, rng);
   const MagFreqInjector mag(1 << 8, 1);
-  std::vector<Request> reqs(4);
-  for (auto& r : reqs) {
-    r.a8 = &a8;
-    r.qa = QuantParams{0.05f};
-    r.injector = &mag;
-  }
+
   ServeConfig scfg;
   scfg.workers = 2;
+  scfg.stats_window = 4;  // tiny window so it demonstrably slides
   ServeEngine engine(grid, scfg);
+  std::vector<Request> reqs(3, Request::borrow(a8, QuantParams{0.05f}, &mag));
   std::vector<Response> responses;
   engine.serve(reqs, responses);
-  const float* out0 = responses[0].output.data();
-  engine.serve(reqs, responses);  // second batch reuses the response buffers
-  REALM_CHECK(responses[0].output.data() == out0);
-  REALM_CHECK_EQ(engine.stats().requests, std::uint64_t{8});
-  // Every request hits exactly one faulty tile (mag injects per tile, both
-  // tiles attacked, each corrected).
-  REALM_CHECK_EQ(engine.stats().tiles_corrected, std::uint64_t{8 * grid.tile_count()});
+  ServeStats st = engine.stats();
+  REALM_CHECK_EQ(st.completed, std::uint64_t{3});
+  REALM_CHECK_EQ(st.window_count, std::size_t{3});  // under capacity: all held
+  engine.serve(reqs, responses);
+  st = engine.stats();
+  REALM_CHECK_EQ(st.completed, std::uint64_t{6});
+  REALM_CHECK_EQ(st.window_count, std::size_t{4});  // capped at the window span
+  REALM_CHECK(st.window_p99_ms >= st.window_p50_ms);
+  REALM_CHECK_EQ(st.latency_ms.count(), std::size_t{6});  // cumulative keeps all
+  // Every request corrects its single faulty tile.
+  REALM_CHECK_EQ(st.tiles_corrected, std::uint64_t{6 * grid.tile_count()});
+
+  engine.reset_stats();
+  st = engine.stats();
+  REALM_CHECK_EQ(st.completed, std::uint64_t{0});
+  REALM_CHECK_EQ(st.window_count, std::size_t{0});
+  REALM_CHECK_EQ(st.latency_ms.count(), std::size_t{0});
 }
 
 REALM_TEST(misuse_is_rejected) {
@@ -296,14 +801,22 @@ REALM_TEST(misuse_is_rejected) {
   ServeConfig bad;
   bad.queue_capacity = 0;
   REALM_CHECK_THROWS(ServeEngine(grid, bad), std::invalid_argument);
+  ServeConfig bad_window;
+  bad_window.stats_window = 0;
+  REALM_CHECK_THROWS(ServeEngine(grid, bad_window), std::invalid_argument);
 
   ServeEngine engine(grid, ServeConfig{});
   std::vector<Request> reqs(1);  // null activation
   REALM_CHECK_THROWS(engine.serve(reqs), std::invalid_argument);
+  // The async front door rejects the same misuse at submit time — the
+  // lifetime-footgun death-test: a request with no activation never reaches
+  // a worker.
+  REALM_CHECK_THROWS((void)engine.submit(Request{}), std::invalid_argument);
+  REALM_CHECK_THROWS((void)engine.try_submit(Request{}), std::invalid_argument);
 
   // An exception thrown from INSIDE a worker (dim mismatch surfaces in
-  // run_quantized_into, past the up-front validation) must propagate out of
-  // the multi-worker queue path cleanly — producer joined, no terminate.
+  // run_quantized_into, past the up-front validation) must surface from
+  // wait() — and therefore from the shim — as the original type.
   ServeConfig two;
   two.workers = 2;
   two.queue_capacity = 1;
@@ -317,6 +830,11 @@ REALM_TEST(misuse_is_rejected) {
   mixed[1].a8 = &bad_dims;
   std::vector<Response> rsp;
   REALM_CHECK_THROWS(multi.serve(mixed, rsp), std::invalid_argument);
+  REALM_CHECK_EQ(multi.stats().failed, std::uint64_t{1});
+  // The failed ticket was consumed by the shim; the engine carries no
+  // orphaned slots and keeps serving.
+  const Ticket ok = multi.submit(Request::borrow(a8, QuantParams{0.1f}));
+  REALM_CHECK(!multi.wait(ok).expired);
 }
 
 REALM_TEST_MAIN()

@@ -92,4 +92,35 @@ REALM_TEST(running_stat_merge_identities) {
   REALM_CHECK_EQ(lo.max(), all.max());
 }
 
+REALM_TEST(sliding_window_quantiles_track_recent_samples) {
+  // Under capacity: quantiles over everything added so far.
+  SlidingWindow w(4);
+  REALM_CHECK_EQ(w.capacity(), std::size_t{4});
+  REALM_CHECK_EQ(w.count(), std::size_t{0});
+  w.add(10.0);
+  w.add(20.0);
+  REALM_CHECK_EQ(w.count(), std::size_t{2});
+  REALM_CHECK_EQ(w.quantile(0.0), 10.0);
+  REALM_CHECK_EQ(w.quantile(1.0), 20.0);
+
+  // Past capacity the oldest samples fall out: after pushing 30..60 into the
+  // 4-slot window, the 10/20 era is gone and the quantiles see only 30..60.
+  for (const double x : {30.0, 40.0, 50.0, 60.0}) w.add(x);
+  REALM_CHECK_EQ(w.count(), std::size_t{4});
+  REALM_CHECK_EQ(w.total(), std::size_t{6});  // lifetime adds keep counting
+  REALM_CHECK_EQ(w.quantile(0.0), 30.0);      // 10 and 20 evicted
+  REALM_CHECK_EQ(w.quantile(1.0), 60.0);
+
+  // A fresh spike dominates p-high immediately — the window is why serving
+  // dashboards see regressions instead of history-diluted averages.
+  w.add(500.0);
+  REALM_CHECK_EQ(w.quantile(1.0), 500.0);
+  REALM_CHECK_EQ(w.quantile(0.0), 40.0);  // 30 just slid out
+
+  // Degenerate uses fail loudly.
+  REALM_CHECK_THROWS(SlidingWindow(0), std::invalid_argument);
+  const SlidingWindow empty(3);
+  REALM_CHECK_THROWS(empty.quantile(0.5), std::invalid_argument);
+}
+
 REALM_TEST_MAIN()

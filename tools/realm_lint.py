@@ -4,11 +4,15 @@
 clang-tidy knows C++; it does not know this repo's contracts. realm-lint
 enforces the invariants the test suite can only sample:
 
-  rng-fork        Rng objects constructed inside a parallel_for body must be
-                  derived with .fork(...) from a stream owned outside the
-                  body. A raw seed constructed per-chunk silently couples the
-                  random stream to the chunking (and therefore to the thread
-                  count), breaking the bit-exactness contract.
+  rng-fork        Rng objects constructed inside a parallel_for body or a
+                  worker_loop function body must be derived with .fork(...)
+                  from a stream owned outside the body. A raw seed constructed
+                  per-chunk (or per-worker) silently couples the random stream
+                  to the chunking / claim order (and therefore to the thread
+                  count), breaking the bit-exactness contract. `worker_loop`
+                  is the serving engine's convention for persistent
+                  work-claiming loops — any method with that name is held to
+                  the forked-stream rule.
   sat-math        Deviation/accumulation statements on 64-bit sums in
                   src/detect and src/sa must go through the util/bitmath
                   helpers (sat_add/sat_sub/wrap_to_bits/clamp_to_bits).
@@ -164,12 +168,56 @@ def lambda_body_spans(code, call_re):
 
 
 PARALLEL_FOR_RE = re.compile(r"\bparallel_for\s*\(")
+WORKER_LOOP_RE = re.compile(r"\bworker_loop\s*\(")
 RNG_DECL_RE = re.compile(r"\b(?:util::)?Rng\s+(\w+)\s*[({=]")
 RNG_TEMP_RE = re.compile(r"(?<![\w:.])(?:util::)?Rng\s*\(")
 
 
+def function_body_spans(code, name_re):
+    """Return (start, end) offsets of the {...} body of each DEFINITION of a
+    function matched by name_re. Calls (`worker_loop();`) and declarations
+    (`void worker_loop();`) are skipped: after the parameter list's ')' only
+    whitespace and word-like qualifiers (const, noexcept, override) may
+    precede the '{' of a definition."""
+    spans = []
+    for m in name_re.finditer(code):
+        depth = 0
+        i = m.end() - 1  # at '('
+        while i < len(code):
+            c = code[i]
+            if c == "(":
+                depth += 1
+            elif c == ")":
+                depth -= 1
+                if depth == 0:
+                    break
+            i += 1
+        j = i + 1
+        while j < len(code) and (code[j].isspace() or code[j].isalnum() or code[j] == "_"):
+            j += 1
+        if j >= len(code) or code[j] != "{":
+            continue
+        bdepth = 0
+        k = j
+        while k < len(code):
+            if code[k] == "{":
+                bdepth += 1
+            elif code[k] == "}":
+                bdepth -= 1
+                if bdepth == 0:
+                    break
+            k += 1
+        spans.append((j, k + 1))
+    return spans
+
+
 def check_rng_fork(path, code, raw_lines, findings):
-    for start, end in lambda_body_spans(code, PARALLEL_FOR_RE):
+    scopes = [(span, "a parallel_for body", "per-chunk seeds tie results to the thread count")
+              for span in lambda_body_spans(code, PARALLEL_FOR_RE)]
+    scopes += [(span, "a worker_loop body",
+                "per-worker seeds tie results to the claim order and worker count")
+               for span in function_body_spans(code, WORKER_LOOP_RE)]
+    for (start, end), where, why in scopes:
         body = code[start:end]
         for m in RNG_DECL_RE.finditer(body):
             stmt_end = body.find(";", m.start())
@@ -183,8 +231,8 @@ def check_rng_fork(path, code, raw_lines, findings):
                 continue
             findings.append(Finding(
                 path, lineno, "rng-fork",
-                f"Rng '{m.group(1)}' constructed inside a parallel_for body without "
-                f".fork(...); per-chunk seeds tie results to the thread count"))
+                f"Rng '{m.group(1)}' constructed inside {where} without "
+                f".fork(...); {why}"))
 
 
 # An updating statement: `name op= ...` or `name = ...` or a declaration
