@@ -17,6 +17,18 @@ difference of two ~0.1 ms measurements — a 20% relative band alone would gate
 on timer noise there, while on the large shapes (where a lost fusion shows up
 as whole milliseconds) the slack is negligible against the signal.
 
+When CURRENT.json carries "mode": "serve-async" (a `--serve-async` bench run
+under elevated injection), the gate dispatches to the fault-load checks
+instead of the per-shape ones, against the baseline's "serve_fault" section:
+
+  * fault_patched_p99_ms — ceiling: current <= baseline * (1 + tolerance) + slack_ms
+  * fault_patch_rate     — absolute floor: current >= baseline patch_rate_floor
+
+The p99 ceiling catches the in-place patch path silently degenerating into
+recompute-class latency; the patch-rate floor catches the corrector losing
+single-fault solves (every injected fault in the bench phase is a lone
+magnitude hit, so the rate should sit at 1.0 with generous headroom).
+
 usage: compare_baseline.py CURRENT.json BASELINE.json [--tolerance 0.20]
                            [--slack-ms 0.15] [--slack-pct 10]
 """
@@ -29,6 +41,43 @@ import sys
 def load(path):
     with open(path) as f:
         return json.load(f)
+
+
+def serve_fault_gate(current, baseline, args):
+    """Fault-load serving gate for a --serve-async run (mode dispatch)."""
+    base = baseline.get("serve_fault")
+    if base is None:
+        sys.exit("current run is serve-async but baseline has no serve_fault section")
+    if current.get("fault_requests", 0) <= 0:
+        sys.exit("serve-async run recorded no fault-load requests")
+
+    failures = []
+    hdr = f"{'metric':>22} {'baseline':>9} {'current':>9} {'bound':>9}  status"
+    print(hdr)
+
+    p99 = current["fault_patched_p99_ms"]
+    p99_bound = base["fault_patched_p99_ms"] * (1.0 + args.tolerance) + args.slack_ms
+    ok = p99 <= p99_bound
+    print(
+        f"{'fault_patched_p99_ms':>22} {base['fault_patched_p99_ms']:>9.3f} "
+        f"{p99:>9.3f} {p99_bound:>9.3f}  {'ok' if ok else 'REGRESSION'}"
+    )
+    if not ok:
+        failures.append("fault_patched_p99_ms")
+
+    rate = current["fault_patch_rate"]
+    floor = base["patch_rate_floor"]
+    ok = rate >= floor
+    print(
+        f"{'fault_patch_rate':>22} {floor:>9.3f} {rate:>9.3f} {floor:>9.3f}  "
+        f"{'ok' if ok else 'REGRESSION'}"
+    )
+    if not ok:
+        failures.append("fault_patch_rate")
+
+    if failures:
+        sys.exit(f"serve fault-load gate regressed: {failures}")
+    print("serve fault-load gate passed")
 
 
 def main():
@@ -57,6 +106,10 @@ def main():
 
     current = load(args.current)
     baseline = load(args.baseline)
+
+    if current.get("mode") == "serve-async":
+        serve_fault_gate(current, baseline, args)
+        return
 
     if current.get("threads") != 1:
         sys.exit(f"gate requires a single-thread run, got threads={current.get('threads')}")

@@ -5,8 +5,9 @@
 // column prediction (eᵀA)·W is the dominant check term at small m).
 //
 // --json emits a machine-readable record per shape (GOPS, overhead %,
-// detect/correct latency, kernel tier, thread count) that CI archives per
-// commit and gates against bench/baseline.json.
+// detect latency, and the patch-vs-recompute correction latency split, kernel
+// tier, thread count) that CI archives per commit and gates against
+// bench/baseline.json.
 #include <algorithm>
 #include <array>
 #include <chrono>
@@ -58,8 +59,9 @@ struct ShapeResult {
   /// uses the same prepacked weight panels as ProtectedGemm, so packing cost
   /// cancels out of the diff too.
   double detect_ms = 0;
-  double correct_ms = 0;    ///< detect + recompute + recheck: injected - clean
-  std::string verdict;      ///< verdict of the last injected run
+  double patch_ms = 0;      ///< detect + in-place algebraic patch + re-screen: injected - clean
+  double recompute_ms = 0;  ///< detect + recompute replay + recheck: injected - clean
+  std::string verdict;      ///< verdict of the last injected run (patch-enabled path)
 };
 
 int usage() {
@@ -206,9 +208,10 @@ void write_json(const std::string& path, const std::vector<ShapeResult>& results
     std::snprintf(buf, sizeof(buf),
                   "    {\"m\": %zu, \"k\": %zu, \"n\": %zu, \"raw_gops\": %.3f, "
                   "\"prot_gops\": %.3f, \"overhead_pct\": %.2f, \"detect_ms\": %.4f, "
-                  "\"correct_ms\": %.4f, \"verdict\": \"%s\"}%s\n",
+                  "\"patch_ms\": %.4f, \"recompute_ms\": %.4f, \"verdict\": \"%s\"}%s\n",
                   r.m, r.k, r.n, r.raw_gops, r.prot_gops, r.overhead_pct, r.detect_ms,
-                  r.correct_ms, r.verdict.c_str(), i + 1 < results.size() ? "," : "");
+                  r.patch_ms, r.recompute_ms, r.verdict.c_str(),
+                  i + 1 < results.size() ? "," : "");
     os << buf;
   }
   os << "  ]\n}\n";
@@ -314,7 +317,7 @@ int serve_main(bool csv, bool smoke, long threads, int repeat, const std::string
              realm::util::TablePrinter::num(raw_s * 1e3),
              realm::util::TablePrinter::num(detect_s * 1e3),
              realm::util::TablePrinter::pct(overhead_pct / 100.0),
-             std::to_string(st.tiles_corrected)});
+             std::to_string(st.tiles_corrected())});
   if (csv) {
     table.print_csv(std::cout);
   } else {
@@ -327,7 +330,7 @@ int serve_main(bool csv, bool smoke, long threads, int repeat, const std::string
       std::cerr << "protected_gemm_bench: cannot write " << json_path << "\n";
       return 1;
     }
-    char buf[768];
+    char buf[1024];
     std::snprintf(buf, sizeof(buf),
                   "{\n"
                   "  \"schema_version\": 1,\n"
@@ -347,6 +350,8 @@ int serve_main(bool csv, bool smoke, long threads, int repeat, const std::string
                   "  \"overhead_pct\": %.2f,\n"
                   "  \"tiles_screened\": %llu,\n"
                   "  \"tiles_detected\": %llu,\n"
+                  "  \"tiles_patched\": %llu,\n"
+                  "  \"tiles_recomputed\": %llu,\n"
                   "  \"tiles_corrected\": %llu\n"
                   "}\n",
                   realm::tensor::kernels::to_string(realm::tensor::kernels::active_tier()),
@@ -354,7 +359,9 @@ int serve_main(bool csv, bool smoke, long threads, int repeat, const std::string
                   p50, p99, raw_s * 1e3, detect_s * 1e3, overhead_pct,
                   static_cast<unsigned long long>(st.tiles_screened),
                   static_cast<unsigned long long>(st.tiles_detected),
-                  static_cast<unsigned long long>(st.tiles_corrected));
+                  static_cast<unsigned long long>(st.tiles_patched),
+                  static_cast<unsigned long long>(st.tiles_recomputed),
+                  static_cast<unsigned long long>(st.tiles_corrected()));
     os << buf;
   }
   return 0;
@@ -362,11 +369,13 @@ int serve_main(bool csv, bool smoke, long threads, int repeat, const std::string
 
 /// Async continuous-batching mode: multi-tenant submit/poll traffic with
 /// mixed priorities and mixed request shapes through the persistent-worker
-/// engine, plus a tile-by-tile weight hot-swap landing mid-stream. Reports
-/// sustained req/s and per-tenant sliding-window p50/p99. Self-gating: any
-/// dropped request or verdict that disagrees with the injected fault plan
-/// (clean traffic must screen clean, injected traffic must correct) exits
-/// nonzero, so the CI smoke run IS the hot-swap-under-load check.
+/// engine, plus a tile-by-tile weight hot-swap landing mid-stream, then a
+/// fault-load phase (every request injected) measured once with the in-place
+/// patch and once recompute-only. Reports sustained req/s, per-tenant
+/// sliding-window p50/p99, and the p99-under-fault split. Self-gating: any
+/// dropped request, any verdict that disagrees with the injected fault plan
+/// (clean traffic must screen clean, injected traffic must correct), or a
+/// patched-path p99 at or above the recompute p99 (non-smoke) exits nonzero.
 int serve_async_main(bool csv, bool smoke, long threads, int repeat, const std::string& json_path) {
   namespace rt = realm::tensor;
   realm::util::Rng rng(0x5e7a);
@@ -443,30 +452,73 @@ int serve_async_main(bool csv, bool smoke, long threads, int repeat, const std::
       continue;
     }
     const bool injected = (i % 8 == 7);
-    const auto want =
-        injected ? realm::detect::Verdict::kCorrected : realm::detect::Verdict::kClean;
-    if (rsp.verdict.verdict != want) ++mis_verdicts;
+    const bool ok = injected ? realm::detect::corrected(rsp.verdict.verdict)
+                             : rsp.verdict.verdict == realm::detect::Verdict::kClean;
+    if (!ok) ++mis_verdicts;
   }
   const double wall_s = seconds_since(t0);
   const double rps = static_cast<double>(total) / wall_s;
   const realm::serve::ServeStats st = engine.stats();
+
+  // Fault-load phase (elevated injection: EVERY request faulted), once with
+  // the in-place patch enabled (the serving default) and once with
+  // patch_on_detect=false (recompute-only). Pinned streams give both engines
+  // identical fault draws over identical weights and activations, so the p99
+  // gap isolates the correction-mode latency — the release gate pins the
+  // patched path strictly below the recompute cliff.
+  const std::size_t fault_total = smoke ? 32 : 96;
+  const rt::MatI8 w8_fault = random_i8(k, n, rng);
+  const auto fault_phase = [&](bool patch_enabled, double& p99_ms, double& patch_rate) {
+    realm::serve::TileGridConfig fcfg = gcfg;
+    fcfg.detect.patch_on_detect = patch_enabled;
+    const realm::serve::TileGrid fgrid(w8_fault, qw, fcfg);
+    realm::serve::ServeEngine fengine(fgrid, scfg);
+    fengine.wait(fengine.submit(realm::serve::Request::borrow(acts[0], qa)));  // warm buffers
+    std::vector<realm::serve::Ticket> fts;
+    fts.reserve(fault_total);
+    for (std::size_t i = 0; i < fault_total; ++i) {
+      realm::serve::SubmitOptions opt;
+      opt.stream = i;  // identical fault draws across the two phases
+      fts.push_back(fengine.submit(realm::serve::Request::borrow(acts[i % nshapes], qa, &mag),
+                                   opt));
+    }
+    std::vector<double> lat;
+    lat.reserve(fault_total);
+    std::size_t faulty_reqs = 0, patched_reqs = 0;
+    for (auto& ticket : fts) {
+      const realm::serve::Response rsp = fengine.wait(ticket);
+      lat.push_back(rsp.latency_ms);
+      if (rsp.verdict.faulty()) {
+        ++faulty_reqs;
+        if (rsp.verdict.verdict == realm::detect::Verdict::kPatched) ++patched_reqs;
+      }
+    }
+    p99_ms = realm::util::quantile(lat, 0.99);
+    patch_rate = faulty_reqs == 0 ? 0.0
+                                  : static_cast<double>(patched_reqs) /
+                                        static_cast<double>(faulty_reqs);
+  };
+  double fault_patched_p99 = 0, fault_recompute_p99 = 0, fault_patch_rate = 0, rec_rate = 0;
+  fault_phase(true, fault_patched_p99, fault_patch_rate);
+  fault_phase(false, fault_recompute_p99, rec_rate);
 
   realm::util::TablePrinter table(
       std::string("protected_gemm_bench --serve-async (submit/poll through ServeEngine, tier=") +
       realm::tensor::kernels::to_string(realm::tensor::kernels::active_tier()) +
       ", workers=" + std::to_string(scfg.workers) + ", tiles_swapped=" + std::to_string(swapped) +
       ")");
-  table.header({"tenant", "priority", "submitted", "completed", "corrected", "req/s", "p50_ms",
-                "p99_ms"});
+  table.header({"tenant", "priority", "submitted", "completed", "patched", "recomputed", "req/s",
+                "p50_ms", "p99_ms"});
   for (const char* name : {"pro", "free"}) {
     const realm::serve::TenantStats ts = engine.tenant_stats(name);
     table.row({ts.tenant, std::string(name) == "pro" ? "interactive" : "batch",
                std::to_string(ts.submitted), std::to_string(ts.completed),
-               std::to_string(ts.requests_corrected), realm::util::TablePrinter::num(ts.req_per_s),
+               std::to_string(ts.requests_patched), std::to_string(ts.requests_recomputed),
+               realm::util::TablePrinter::num(ts.req_per_s),
                realm::util::TablePrinter::num(ts.window_p50_ms),
                realm::util::TablePrinter::num(ts.window_p99_ms)});
   }
-  table.row({"(all)", "-", std::to_string(st.submitted), std::to_string(st.completed), "-",
+  table.row({"(all)", "-", std::to_string(st.submitted), std::to_string(st.completed), "-", "-",
              realm::util::TablePrinter::num(rps),
              realm::util::TablePrinter::num(st.window_p50_ms),
              realm::util::TablePrinter::num(st.window_p99_ms)});
@@ -476,13 +528,27 @@ int serve_async_main(bool csv, bool smoke, long threads, int repeat, const std::
     table.print(std::cout);
   }
 
+  realm::util::TablePrinter ftable(
+      std::string("fault load (every request injected, patch vs recompute, requests=") +
+      std::to_string(fault_total) + ")");
+  ftable.header({"correction", "p99_ms", "patch_rate"});
+  ftable.row({"patch", realm::util::TablePrinter::num(fault_patched_p99),
+              realm::util::TablePrinter::num(fault_patch_rate, 3)});
+  ftable.row({"recompute", realm::util::TablePrinter::num(fault_recompute_p99),
+              realm::util::TablePrinter::num(rec_rate, 3)});
+  if (csv) {
+    ftable.print_csv(std::cout);
+  } else {
+    ftable.print(std::cout);
+  }
+
   if (!json_path.empty()) {
     std::ofstream os(json_path);
     if (!os) {
       std::cerr << "protected_gemm_bench: cannot write " << json_path << "\n";
       return 1;
     }
-    char buf[1024];
+    char buf[1536];
     std::snprintf(buf, sizeof(buf),
                   "{\n"
                   "  \"schema_version\": 1,\n"
@@ -498,21 +564,36 @@ int serve_async_main(bool csv, bool smoke, long threads, int repeat, const std::
                   "  \"window_p99_ms\": %.4f,\n"
                   "  \"expired\": %llu,\n"
                   "  \"failed\": %llu,\n"
-                  "  \"tiles_corrected\": %llu\n"
+                  "  \"tiles_patched\": %llu,\n"
+                  "  \"tiles_recomputed\": %llu,\n"
+                  "  \"tiles_corrected\": %llu,\n"
+                  "  \"fault_requests\": %zu,\n"
+                  "  \"fault_patched_p99_ms\": %.4f,\n"
+                  "  \"fault_recompute_p99_ms\": %.4f,\n"
+                  "  \"fault_patch_rate\": %.4f\n"
                   "}\n",
                   realm::tensor::kernels::to_string(realm::tensor::kernels::active_tier()),
                   scfg.workers, grid.tile_count(), swapped, m, k, n, total, rps, st.window_p50_ms,
                   st.window_p99_ms, static_cast<unsigned long long>(st.expired),
                   static_cast<unsigned long long>(st.failed),
-                  static_cast<unsigned long long>(st.tiles_corrected));
+                  static_cast<unsigned long long>(st.tiles_patched),
+                  static_cast<unsigned long long>(st.tiles_recomputed),
+                  static_cast<unsigned long long>(st.tiles_corrected()), fault_total,
+                  fault_patched_p99, fault_recompute_p99, fault_patch_rate);
     os << buf;
   }
 
+  // The patched-path tail must sit strictly below the recompute cliff: the
+  // patch replaces the O(m·k·n) replay with O(m·n + m·k + k·n) algebra, so a
+  // crossover means the correction path regressed. (Skipped under --smoke,
+  // where per-request times are too small for a stable p99 comparison.)
+  const bool p99_split_ok = smoke || fault_patched_p99 < fault_recompute_p99;
   if (dropped != 0 || mis_verdicts != 0 || swapped != grid.tile_count() ||
-      !grid.verify_weight_integrity()) {
+      !grid.verify_weight_integrity() || !p99_split_ok) {
     std::cerr << "protected_gemm_bench: serve-async gate FAILED (dropped=" << dropped
               << ", mis_verdicts=" << mis_verdicts << ", tiles_swapped=" << swapped << "/"
-              << grid.tile_count() << ")\n";
+              << grid.tile_count() << ", patched_p99=" << fault_patched_p99
+              << ", recompute_p99=" << fault_recompute_p99 << ")\n";
     return 1;
   }
   return 0;
@@ -566,8 +647,8 @@ int main(int argc, char** argv) {
       std::string("protected_gemm_bench (raw vs protected INT8 GEMM, tier=") +
       realm::tensor::kernels::to_string(realm::tensor::kernels::active_tier()) +
       ", threads=" + std::to_string(threads) + ")");
-  table.header({"m", "k", "n", "raw_gops", "prot_gops", "overhead", "detect_ms", "correct_ms",
-                "verdict"});
+  table.header({"m", "k", "n", "raw_gops", "prot_gops", "overhead", "detect_ms", "patch_ms",
+                "recompute_ms", "verdict"});
 
   // The smoke set keeps sanitizer runs fast while still covering a full-tile
   // shape and a ragged one (edge microkernels + scalar reduction tails).
@@ -590,8 +671,15 @@ int main(int argc, char** argv) {
     const realm::tensor::MatI8 a8 = random_i8(res.m, res.k, rng);
     const realm::tensor::QuantParams qa{0.05f};
 
-    realm::detect::ProtectedGemm pg;
-    pg.set_weights_quantized(random_i8(res.k, res.n, rng), realm::tensor::QuantParams{0.02f});
+    realm::detect::ProtectedGemm pg;  // default config: patch-first correction
+    realm::detect::DetectionConfig rec_cfg;
+    rec_cfg.patch_on_detect = false;  // recompute-only — the pre-patch latency cliff
+    realm::detect::ProtectedGemm pg_rec(rec_cfg);
+    {
+      const realm::tensor::MatI8 w8 = random_i8(res.k, res.n, rng);
+      pg.set_weights_quantized(w8, realm::tensor::QuantParams{0.02f});
+      pg_rec.set_weights_quantized(w8, realm::tensor::QuantParams{0.02f});
+    }
 
     const double ops = 2.0 * static_cast<double>(res.m) * static_cast<double>(res.k) *
                        static_cast<double>(res.n);
@@ -625,8 +713,9 @@ int main(int argc, char** argv) {
     realm::detect::ProtectedGemmResult prot;
     pg.run_quantized_into(a8, qa, none, rng, prot);  // warm the buffers
     realm::detect::Verdict last = realm::detect::Verdict::kClean;
-    std::vector<double> raw_t(reps), clean_t(reps), detect_d(reps), correct_d;
-    correct_d.reserve((reps + 1) / 2);
+    std::vector<double> raw_t(reps), clean_t(reps), detect_d(reps), patch_d, recompute_d;
+    patch_d.reserve((reps + 1) / 2);
+    recompute_d.reserve((reps + 1) / 2);
     for (int r = 0; r < reps; ++r) {
       t0 = Clock::now();
       realm::tensor::gemm_i8_prepacked(a8, pg.weights(), packed_w, c);
@@ -637,12 +726,17 @@ int main(int argc, char** argv) {
       clean_t[r] = seconds_since(t0);
       detect_d[r] = clean_t[r] - raw_t[r];
 
-      // Injected on every other rep: detect + recompute-correct + recheck.
+      // Injected on every other rep, through BOTH correction modes against
+      // the same clean-pair time: the in-place algebraic patch (default) and
+      // the recompute replay — the split that shows what the patch saves.
       if (r % 2 == 0) {
         t0 = Clock::now();
         pg.run_quantized_into(a8, qa, mag_freq, rng, prot);
         last = prot.report.verdict;
-        correct_d.push_back(seconds_since(t0) - clean_t[r]);
+        patch_d.push_back(seconds_since(t0) - clean_t[r]);
+        t0 = Clock::now();
+        pg_rec.run_quantized_into(a8, qa, mag_freq, rng, prot);
+        recompute_d.push_back(seconds_since(t0) - clean_t[r]);
       }
     }
     const auto median = [](std::vector<double>& v) {
@@ -653,7 +747,8 @@ int main(int argc, char** argv) {
     const double prot_clean_s = median(clean_t);
     // The screen cannot cost negative time; clamp residual pair noise.
     const double detect_s = std::max(median(detect_d), 0.0);
-    const double correct_s = std::max(median(correct_d), 0.0);
+    const double patch_s = std::max(median(patch_d), 0.0);
+    const double recompute_s = std::max(median(recompute_d), 0.0);
 
     res.raw_gops = ops / raw_s / 1e9;
     res.prot_gops = ops / prot_clean_s / 1e9;
@@ -662,7 +757,8 @@ int main(int argc, char** argv) {
     // anything.
     res.overhead_pct = detect_s / raw_s * 100.0;
     res.detect_ms = detect_s * 1e3;
-    res.correct_ms = correct_s * 1e3;
+    res.patch_ms = patch_s * 1e3;
+    res.recompute_ms = recompute_s * 1e3;
     res.verdict = realm::detect::to_string(last);
     results.push_back(res);
 
@@ -671,7 +767,8 @@ int main(int argc, char** argv) {
                realm::util::TablePrinter::num(res.prot_gops),
                realm::util::TablePrinter::pct(res.overhead_pct / 100.0),
                realm::util::TablePrinter::num(res.detect_ms),
-               realm::util::TablePrinter::num(res.correct_ms), res.verdict});
+               realm::util::TablePrinter::num(res.patch_ms),
+               realm::util::TablePrinter::num(res.recompute_ms), res.verdict});
   }
 
   if (csv) {

@@ -1,0 +1,134 @@
+#include "detect/correct.h"
+
+#include <cstdint>
+#include <vector>
+
+#include "tensor/checksum.h"
+#include "tensor/checksum_kernels.h"
+#include "util/bitmath.h"
+
+namespace realm::detect::correct {
+
+namespace {
+
+/// One solved fault: subtract `delta` from acc(row, col).
+struct Patch {
+  std::size_t row = 0;
+  std::size_t col = 0;
+  std::int64_t delta = 0;
+};
+
+/// Solve the weighted-basis equation for one line (a column or a row):
+/// a single fault at weighted position p satisfies weighted = (p+1)·plain,
+/// so p = weighted/plain − 1. Inexact division or an index outside
+/// [0, extent) means the line does not hold exactly one fault (or the fault
+/// pattern aliases); the caller leaves it for the recompute fallback.
+bool solve_line(std::int64_t plain, std::int64_t weighted, std::size_t extent,
+                std::size_t& index) {
+  if (plain == 0 || weighted % plain != 0) return false;
+  const std::int64_t pos1 = weighted / plain;  // 1-based position
+  if (pos1 < 1 || static_cast<std::uint64_t>(pos1) > extent) return false;
+  index = static_cast<std::size_t>(pos1) - 1;
+  return true;
+}
+
+}  // namespace
+
+PatchResult try_patch(const DetectionConfig& cfg,
+                      const std::vector<std::int64_t>& predicted_cols, const tensor::MatI8& a8,
+                      const tensor::MatI8& w8, const std::vector<std::int64_t>& w_row_basis,
+                      const std::vector<std::int64_t>& w_row_wbasis, tensor::MatI32& acc) {
+  PatchResult res;
+  const std::size_t m = acc.rows();
+  const std::size_t n = acc.cols();
+
+  // Plain deviations on both sides — the same identities the screen used.
+  const std::vector<std::int64_t> obs_cols = tensor::col_sums(acc);
+  const std::vector<std::int64_t> obs_rows = tensor::row_sums(acc);
+  const std::vector<std::int64_t> pred_rows = tensor::predict_row_checksum(a8, w_row_basis);
+  std::vector<std::int64_t> dc(n);
+  std::vector<std::int64_t> dr(m);
+  bool any = false;
+  for (std::size_t j = 0; j < n; ++j) {
+    dc[j] = util::sat_sub_i64(obs_cols[j], predicted_cols[j]);
+    any = any || dc[j] != 0;
+  }
+  for (std::size_t i = 0; i < m; ++i) {
+    dr[i] = util::sat_sub_i64(obs_rows[i], pred_rows[i]);
+    any = any || dr[i] != 0;
+  }
+  if (!any) {
+    // A "detected" verdict with zero deviations on both sides has nothing to
+    // solve against; refuse to touch the accumulator.
+    res.outcome = PatchOutcome::kNoFault;
+    return res;
+  }
+
+  // Weighted deviations, computed lazily only on this (cold) correction
+  // path: predicted uᵀ(A·W) = (uᵀA)·W reuses the standard predict kernel on
+  // the weighted activation checksum, and (A·W)·v = A·(W·v) reuses the row
+  // predict kernel on the resident weighted weight basis.
+  const std::vector<std::int64_t> ua = tensor::weighted_col_sums(a8);
+  std::vector<std::int64_t> pred_wcols(n);
+  tensor::kernels::predict_col_checksum(ua.data(), w8.data(), w8.rows(), w8.cols(),
+                                        pred_wcols.data());
+  const std::vector<std::int64_t> obs_wcols = tensor::weighted_col_sums(acc);
+  const std::vector<std::int64_t> pred_wrows = tensor::predict_row_checksum(a8, w_row_wbasis);
+  const std::vector<std::int64_t> obs_wrows = tensor::weighted_row_sums(acc);
+
+  std::vector<std::int64_t> wdr(m);
+  for (std::size_t i = 0; i < m; ++i) {
+    wdr[i] = util::sat_sub_i64(obs_wrows[i], pred_wrows[i]);
+  }
+
+  // Plan A — column solve: every column with a nonzero deviation is solved
+  // independently, so simultaneous faults in distinct columns (including
+  // several sharing one row) all patch in one pass. Each accepted patch is
+  // subtracted from the row-side residuals so Plan B only chases what the
+  // column solve could not see.
+  std::vector<Patch> patches;
+  for (std::size_t j = 0; j < n; ++j) {
+    if (dc[j] == 0) continue;
+    const std::int64_t wdc = util::sat_sub_i64(obs_wcols[j], pred_wcols[j]);
+    std::size_t r = 0;
+    if (!solve_line(dc[j], wdc, m, r)) continue;
+    patches.push_back({r, j, dc[j]});
+    dr[r] = util::sat_sub_i64(dr[r], dc[j]);
+    wdr[r] = util::sat_sub_i64(wdr[r], static_cast<std::int64_t>(j + 1) * dc[j]);
+  }
+
+  // Plan B — row solve over the residuals: catches the fault classes whose
+  // column statistics alias (two faults sharing a column, opposite-sign
+  // pairs that cancel in every column sum) but whose row deviations do not.
+  for (std::size_t i = 0; i < m; ++i) {
+    if (dr[i] == 0) continue;
+    std::size_t c = 0;
+    if (!solve_line(dr[i], wdr[i], n, c)) continue;
+    patches.push_back({i, c, dr[i]});
+    res.used_row_solve = true;
+  }
+
+  // Apply. The patched value is the algebraically reconstructed true
+  // element, which by construction fits int32 when the solve was right; a
+  // value off the rails proves the solve was wrong, so skip it and let the
+  // recheck fail into recompute.
+  for (const Patch& p : patches) {
+    const std::int64_t patched =
+        util::sat_sub_i64(static_cast<std::int64_t>(acc(p.row, p.col)), p.delta);
+    if (patched < INT32_MIN || patched > INT32_MAX) continue;
+    acc(p.row, p.col) = static_cast<std::int32_t>(patched);
+    ++res.patches_applied;
+  }
+
+  // Mandatory full re-screen: a patch is only trusted when the complete
+  // criteria (MSD threshold, per-column deviations, row-side identity) come
+  // back clean. This is what defuses an accidentally-divisible wrong solve —
+  // a mispatch leaves some checksum unbalanced and lands here as kFailed.
+  res.recheck = screen_accumulator(cfg, predicted_cols, a8, w_row_basis, acc);
+  res.outcome = (res.patches_applied > 0 && res.recheck.verdict == Verdict::kClean)
+                    ? PatchOutcome::kPatched
+                    : PatchOutcome::kFailed;
+  return res;
+}
+
+}  // namespace realm::detect::correct

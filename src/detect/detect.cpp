@@ -4,6 +4,7 @@
 #include <stdexcept>
 #include <utility>
 
+#include "detect/correct.h"
 #include "tensor/gemm.h"
 #include "util/bitmath.h"
 
@@ -63,7 +64,8 @@ const char* to_string(Verdict v) noexcept {
   switch (v) {
     case Verdict::kClean: return "clean";
     case Verdict::kDetected: return "detected";
-    case Verdict::kCorrected: return "corrected";
+    case Verdict::kPatched: return "patched";
+    case Verdict::kRecomputed: return "recomputed";
   }
   return "?";
 }
@@ -89,6 +91,9 @@ void ProtectedGemm::set_weights_quantized(tensor::MatI8 w8, tensor::QuantParams 
   // then skips the O(k·n) pack.
   w_row_basis_ = tensor::row_sums(w8_);
   w_col_basis_ = tensor::col_sums(w8_);
+  // Weighted ABFT basis W·v (v = [1,2,3,…]): resident like W·e so the
+  // corrector's row-side solve A·(W·v) reuses the same predict kernel.
+  w_row_wbasis_ = tensor::weighted_row_sums(w8_);
   w_packed_ = tensor::kernels::pack_b(w8_.data(), w8_.rows(), w8_.cols());
 }
 
@@ -134,6 +139,17 @@ void ProtectedGemm::run_quantized_into(const tensor::MatI8& a8, tensor::QuantPar
   result.report = screen_accumulator(cfg_, predicted_cols, a8, w_row_basis_, result.acc);
   result.report.injection = injection;
 
+  if (result.report.verdict == Verdict::kDetected && cfg_.patch_on_detect) {
+    // Algebraic in-place correction: solve fault positions and magnitudes
+    // from the plain + weighted deviations and patch the accumulator, at
+    // O(m·n + m·k + k·n) instead of the O(m·k·n) replay. try_patch re-screens
+    // with the full criteria internally; only a clean recheck claims success.
+    const correct::PatchResult patched = correct::try_patch(
+        cfg_, predicted_cols, a8, w8_, w_row_basis_, w_row_wbasis_, result.acc);
+    if (patched.outcome == correct::PatchOutcome::kPatched) {
+      result.report.verdict = Verdict::kPatched;
+    }
+  }
   if (result.report.verdict == Verdict::kDetected && cfg_.recompute_on_detect) {
     // Fault-free replay of the tile; re-screen with the full criteria so a
     // correction is only claimed when the recheck actually comes back clean
@@ -142,7 +158,7 @@ void ProtectedGemm::run_quantized_into(const tensor::MatI8& a8, tensor::QuantPar
     tensor::gemm_i8_prepacked(a8, w8_, w_packed_, result.acc);
     if (screen_accumulator(cfg_, predicted_cols, a8, w_row_basis_, result.acc).verdict ==
         Verdict::kClean) {
-      result.report.verdict = Verdict::kCorrected;
+      result.report.verdict = Verdict::kRecomputed;
     }
   }
 

@@ -7,8 +7,10 @@
 // statistical unit: the predicted column checksum (eᵀA)·B is compared against
 // the observed eᵀC, the mean-signed-deviation statistic (MSD) is thresholded,
 // and — when two-sided checking is enabled — the row×column intersection of
-// nonzero deviations localizes the faulty elements. A detected GEMM can be
-// corrected by fault-free recompute (the paper's fallback: replay the tile).
+// nonzero deviations localizes the faulty elements. A detected GEMM is
+// corrected algebraically in place when the weighted-basis solve pins the
+// faults (src/detect/correct.h), falling back to fault-free recompute (the
+// paper's fallback: replay the tile) only when the patched recheck is dirty.
 //
 // The weight operand is stationary, matching the accelerator: set_weights()
 // quantizes once and precomputes both checksum bases — W·e for the row-side
@@ -42,12 +44,19 @@ namespace realm::detect {
 
 /// What the detector concluded about one protected GEMM.
 enum class Verdict : std::uint8_t {
-  kClean,      ///< no deviation above threshold; output served as-is
-  kDetected,   ///< fault flagged, correction disabled or recompute still dirty
-  kCorrected,  ///< fault flagged, recompute verified clean
+  kClean,       ///< no deviation above threshold; output served as-is
+  kDetected,    ///< fault flagged, correction disabled or recheck still dirty
+  kPatched,     ///< fault flagged, algebraic in-place patch verified clean
+  kRecomputed,  ///< fault flagged, full recompute verified clean
 };
 
 [[nodiscard]] const char* to_string(Verdict v) noexcept;
+
+/// True when the output was repaired and re-verified clean, by either
+/// correction mode (in-place patch or full recompute).
+[[nodiscard]] constexpr bool corrected(Verdict v) noexcept {
+  return v == Verdict::kPatched || v == Verdict::kRecomputed;
+}
 
 /// How the MSD statistic is compared against the threshold.
 enum class CheckMode : std::uint8_t {
@@ -61,7 +70,13 @@ struct DetectionConfig {
   /// integer identities, so 0 gives zero false positives on golden runs.
   std::uint64_t msd_threshold = 0;
   CheckMode mode = CheckMode::kTwoSided;
-  /// Recompute the GEMM (fault-free replay) when a fault is flagged.
+  /// Try the algebraic in-place patch first when a fault is flagged: solve
+  /// position and magnitude from the plain + weighted deviations, patch the
+  /// accumulator, and re-screen. Orders of magnitude cheaper than replaying
+  /// the tile (O(m·n + m·k + k·n) vs O(m·k·n)).
+  bool patch_on_detect = true;
+  /// Recompute the GEMM (fault-free replay) when a fault is flagged and the
+  /// patch was disabled or its recheck came back dirty.
   bool recompute_on_detect = true;
   /// Width of the modeled MSD accumulator datapath; the signed MSD is clamped
   /// with util::clamp_to_bits before thresholding (64 = full precision).
@@ -86,7 +101,7 @@ struct DetectionVerdict {
 };
 
 struct ProtectedGemmResult {
-  tensor::MatI32 acc;      ///< final accumulator (recomputed when corrected)
+  tensor::MatI32 acc;      ///< final accumulator (patched or recomputed when corrected)
   tensor::MatF output;     ///< dequantized float output of `acc`
   DetectionVerdict report;
 };
@@ -152,12 +167,19 @@ class ProtectedGemm {
   [[nodiscard]] tensor::QuantParams weight_params() const noexcept { return qw_; }
   [[nodiscard]] const DetectionConfig& config() const noexcept { return cfg_; }
 
-  /// The resident checksum bases (set_weights precomputes both).
+  /// The resident checksum bases (set_weights precomputes all of them).
   [[nodiscard]] const std::vector<std::int64_t>& weight_row_basis() const noexcept {
     return w_row_basis_;
   }
   [[nodiscard]] const std::vector<std::int64_t>& weight_col_basis() const noexcept {
     return w_col_basis_;
+  }
+  /// Weighted row basis W·v with v = [1,2,3,…]: the second checksum basis of
+  /// the classic ABFT construction. The weighted row sum of the true product,
+  /// A·(W·v), divided by the plain row deviation yields the faulty column
+  /// index — how the corrector separates simultaneous faults (see correct.h).
+  [[nodiscard]] const std::vector<std::int64_t>& weight_row_wbasis() const noexcept {
+    return w_row_wbasis_;
   }
 
   /// The resident SIMD weight panels (packed once at set_weights). Immutable
@@ -179,8 +201,9 @@ class ProtectedGemm {
   DetectionConfig cfg_;
   tensor::MatI8 w8_;
   tensor::QuantParams qw_;
-  std::vector<std::int64_t> w_row_basis_;  ///< W·e, resident with the weights
-  std::vector<std::int64_t> w_col_basis_;  ///< eᵀW, resident likewise (Fig. 7 row)
+  std::vector<std::int64_t> w_row_basis_;   ///< W·e, resident with the weights
+  std::vector<std::int64_t> w_col_basis_;   ///< eᵀW, resident likewise (Fig. 7 row)
+  std::vector<std::int64_t> w_row_wbasis_;  ///< W·v, v=[1,2,…] (weighted ABFT basis)
   tensor::kernels::PackedB w_packed_;      ///< SIMD panels, resident likewise
 };
 

@@ -16,8 +16,10 @@ void check_bits(int bits) {
   }
 }
 
-/// This model characterizes detection; it never replays a flagged tile.
+/// This model characterizes detection and simulated correction; it never
+/// patches or replays a flagged tile in place.
 detect::DetectionConfig reference_screen_cfg(detect::DetectionConfig cfg) {
+  cfg.patch_on_detect = false;
   cfg.recompute_on_detect = false;
   return cfg;
 }
@@ -33,6 +35,44 @@ std::int64_t width_sub(std::int64_t obs, std::int64_t pred, int bits, Overflow o
     return util::wrap_to_bits(static_cast<std::int64_t>(d), bits);
   }
   return util::clamp_to_bits(util::sat_sub_i64(obs, pred), bits);
+}
+
+/// Width-limited weighted line sums: out[line] = Σ pos·x routed through a Reg
+/// of the datapath's width, accumulated in the array's drain order (ascending
+/// row index for columns, ascending column index for rows) — the order the
+/// saturating datapath pins; wrap is order-free so it costs nothing there.
+void weighted_col_sums_width(const tensor::MatI32& m, const DatapathConfig& cfg,
+                             std::vector<std::int64_t>& out) {
+  out.resize(m.cols());
+  for (std::size_t j = 0; j < m.cols(); ++j) {
+    Reg reg(cfg.bits, cfg.overflow);
+    for (std::size_t i = 0; i < m.rows(); ++i) {
+      reg.add(static_cast<std::int64_t>(i + 1) * m(i, j));
+    }
+    out[j] = reg.value();
+  }
+}
+
+void weighted_row_sums_width(const tensor::MatI32& m, const DatapathConfig& cfg,
+                             std::vector<std::int64_t>& out) {
+  out.resize(m.rows());
+  for (std::size_t i = 0; i < m.rows(); ++i) {
+    Reg reg(cfg.bits, cfg.overflow);
+    for (std::size_t j = 0; j < m.cols(); ++j) {
+      reg.add(static_cast<std::int64_t>(j + 1) * m(i, j));
+    }
+    out[i] = reg.value();
+  }
+}
+
+/// Same single-fault solve as the int64 corrector: weighted = (pos+1)·plain.
+bool solve_line(std::int64_t plain, std::int64_t weighted, std::size_t extent,
+                std::size_t& index) {
+  if (plain == 0 || weighted % plain != 0) return false;
+  const std::int64_t pos1 = weighted / plain;
+  if (pos1 < 1 || static_cast<std::uint64_t>(pos1) > extent) return false;
+  index = static_cast<std::size_t>(pos1) - 1;
+  return true;
 }
 
 }  // namespace
@@ -115,6 +155,71 @@ ScreenResult screen_into(const tensor::MatI32& truth, const tensor::MatI32& faul
   return res;
 }
 
+bool simulate_patch(const tensor::MatI32& truth, const tensor::MatI32& faulted,
+                    const DatapathConfig& cfg) {
+  check_bits(cfg.bits);
+  if (truth.rows() != faulted.rows() || truth.cols() != faulted.cols()) {
+    throw std::invalid_argument("sa::simulate_patch: truth/faulted shape mismatch");
+  }
+  const std::size_t m = truth.rows();
+  const std::size_t n = truth.cols();
+  const bool sat = cfg.overflow == Overflow::kSaturate;
+
+  // Plain deviations through the same width-limited kernels the screen uses;
+  // weighted deviations through the ordered Reg drains above.
+  std::vector<std::int64_t> pred_cols(n), obs_cols(n), pred_rows(m), obs_rows(m);
+  tensor::kernels::col_sums_i32_width(truth.data(), m, n, cfg.bits, sat, pred_cols.data());
+  tensor::kernels::col_sums_i32_width(faulted.data(), m, n, cfg.bits, sat, obs_cols.data());
+  tensor::kernels::row_sums_i32_width(truth.data(), m, n, cfg.bits, sat, pred_rows.data());
+  tensor::kernels::row_sums_i32_width(faulted.data(), m, n, cfg.bits, sat, obs_rows.data());
+  std::vector<std::int64_t> wpred_cols, wobs_cols, wpred_rows, wobs_rows;
+  weighted_col_sums_width(truth, cfg, wpred_cols);
+  weighted_col_sums_width(faulted, cfg, wobs_cols);
+  weighted_row_sums_width(truth, cfg, wpred_rows);
+  weighted_row_sums_width(faulted, cfg, wobs_rows);
+
+  std::vector<std::int64_t> dc(n), dr(m), wdr(m);
+  for (std::size_t j = 0; j < n; ++j) {
+    dc[j] = width_sub(obs_cols[j], pred_cols[j], cfg.bits, cfg.overflow);
+  }
+  for (std::size_t i = 0; i < m; ++i) {
+    dr[i] = width_sub(obs_rows[i], pred_rows[i], cfg.bits, cfg.overflow);
+    wdr[i] = width_sub(wobs_rows[i], wpred_rows[i], cfg.bits, cfg.overflow);
+  }
+
+  // Plan A (per-column solve) then Plan B (row solve over the residuals) —
+  // the same construction as correct::try_patch, with every solve input and
+  // residual update kept in width arithmetic. A wrapped deviation that still
+  // divides exactly mis-solves; the truth comparison below catches it.
+  tensor::MatI32 patched = faulted;
+  for (std::size_t j = 0; j < n; ++j) {
+    if (dc[j] == 0) continue;
+    const std::int64_t wdc = width_sub(wobs_cols[j], wpred_cols[j], cfg.bits, cfg.overflow);
+    std::size_t r = 0;
+    if (!solve_line(dc[j], wdc, m, r)) continue;
+    const std::int64_t value =
+        util::sat_sub_i64(static_cast<std::int64_t>(patched(r, j)), dc[j]);
+    if (value < INT32_MIN || value > INT32_MAX) continue;
+    patched(r, j) = static_cast<std::int32_t>(value);
+    dr[r] = width_sub(dr[r], dc[j], cfg.bits, cfg.overflow);
+    wdr[r] = width_sub(wdr[r], static_cast<std::int64_t>(j + 1) * dc[j], cfg.bits, cfg.overflow);
+  }
+  for (std::size_t i = 0; i < m; ++i) {
+    if (dr[i] == 0) continue;
+    std::size_t c = 0;
+    if (!solve_line(dr[i], wdr[i], n, c)) continue;
+    const std::int64_t value =
+        util::sat_sub_i64(static_cast<std::int64_t>(patched(i, c)), dr[i]);
+    if (value < INT32_MIN || value > INT32_MAX) continue;
+    patched(i, c) = static_cast<std::int32_t>(value);
+  }
+
+  for (std::size_t i = 0; i < m * n; ++i) {
+    if (patched.flat()[i] != truth.flat()[i]) return false;
+  }
+  return true;
+}
+
 SaProtectedGemm::SaProtectedGemm(std::vector<DatapathConfig> datapaths,
                                  detect::DetectionConfig reference_cfg)
     : datapaths_(std::move(datapaths)), ref_(reference_screen_cfg(reference_cfg)) {
@@ -154,23 +259,36 @@ void SaProtectedGemm::run_into(const tensor::MatI8& a8, const fault::FaultInject
 
   // Ground truth is the NET effect: flips that cancel (two upsets on one bit)
   // leave the accumulator clean, and a screen that stays quiet then must not
-  // be scored as a miss.
-  result.truth_faulty = false;
-  for (const auto& f : result.flips) {
-    const auto idx = static_cast<std::size_t>(f.index);
-    if (scratch.faulted.flat()[idx] != scratch.truth.flat()[idx]) {
-      result.truth_faulty = true;
-      break;
+  // be scored as a miss. Count DISTINCT corrupted elements — several flips
+  // can land in one element, and the single-fault class (faulty_elems == 1)
+  // is what the full-width patch-rate gate pins.
+  result.faulty_elems = 0;
+  for (std::size_t f = 0; f < result.flips.size(); ++f) {
+    const auto idx = static_cast<std::size_t>(result.flips[f].index);
+    if (scratch.faulted.flat()[idx] == scratch.truth.flat()[idx]) continue;
+    bool seen = false;
+    for (std::size_t g = 0; g < f; ++g) {
+      seen = seen || static_cast<std::size_t>(result.flips[g].index) == idx;
     }
+    if (!seen) ++result.faulty_elems;
   }
+  result.truth_faulty = result.faulty_elems > 0;
 
   result.reference = detect::screen_accumulator(ref_.config(), scratch.predicted_cols, a8,
                                                 ref_.weight_row_basis(), scratch.faulted);
   result.reference.injection = injection;
+  // Full-width patch simulation: exact deviations, so this is what the int64
+  // in-place corrector achieves on this trial (single faults always heal).
+  result.reference_patched =
+      result.truth_faulty && result.reference.faulty() &&
+      simulate_patch(scratch.truth, scratch.faulted, DatapathConfig{64, Overflow::kWrap, 0, true});
 
   result.by_width.resize(datapaths_.size());
   for (std::size_t i = 0; i < datapaths_.size(); ++i) {
     result.by_width[i] = screen_into(scratch.truth, scratch.faulted, datapaths_[i], scratch.screen);
+    result.by_width[i].patched =
+        result.truth_faulty && result.by_width[i].flagged &&
+        simulate_patch(scratch.truth, scratch.faulted, datapaths_[i]);
   }
 }
 

@@ -88,6 +88,10 @@ struct ScreenResult {
   std::int64_t msd = 0;      ///< final value of the width-limited MSD register
   std::size_t nonzero_cols = 0;
   std::size_t nonzero_rows = 0;
+  /// The width-limited weighted-basis patch simulation reconstructed the
+  /// fault-free product exactly (attempted only on flagged faulty trials;
+  /// set by SaProtectedGemm::run_into, not by screen()).
+  bool patched = false;
 };
 
 /// Recycled buffers for screen_into (column/row register files for both the
@@ -107,6 +111,20 @@ struct ScreenScratch {
 ScreenResult screen_into(const tensor::MatI32& truth, const tensor::MatI32& faulted,
                          const DatapathConfig& cfg, ScreenScratch& scratch);
 
+/// Simulate the weighted-basis algebraic correction (detect/correct.h) with
+/// every deviation — plain and weighted, column and row — routed through
+/// width-limited registers of `cfg`'s width and overflow semantics (weighted
+/// sums accumulate through `Reg` in the array's drain order). The solve and
+/// the patch application are the same Plan A / Plan B construction the int64
+/// corrector runs; success means the patched copy equals `truth` EXACTLY.
+/// At bits == 64 this reproduces the exact corrector (single faults always
+/// patch); at reduced widths wrapped/saturated deviations mis-solve and the
+/// comparison fails — the correction-coverage loss the sweep measures.
+/// Correction always uses both checksum sides (localization needs them),
+/// independent of DatapathConfig::two_sided.
+[[nodiscard]] bool simulate_patch(const tensor::MatI32& truth, const tensor::MatI32& faulted,
+                                  const DatapathConfig& cfg);
+
 /// Everything one protected run produced, at the reference width and at every
 /// configured reduced width — the per-trial record the coverage harness
 /// tallies.
@@ -114,6 +132,13 @@ struct SaRunResult {
   /// Injection net-changed the accumulator (two flips on one bit cancel; a
   /// run whose flips all cancel is ground-truth clean).
   bool truth_faulty = false;
+  /// Net-corrupted accumulator elements (distinct indices where the faulted
+  /// copy disagrees with the truth) — 1 is the single-fault class whose
+  /// full-width patch rate the CI gate pins at 100%.
+  std::size_t faulty_elems = 0;
+  /// Full-width (exact) patch simulation healed this trial — what the int64
+  /// in-place corrector achieves on the same faulted accumulator.
+  bool reference_patched = false;
   /// Full-width int64 screen of the same faulted accumulator — what the
   /// software reference concludes (verdict is kClean or kDetected; this
   /// model never recomputes).

@@ -36,9 +36,14 @@ void validate(const SweepConfig& cfg) {
   // Width range is validated by the DatapathConfig/Reg construction below.
 }
 
-void tally(WidthTally& t, bool flagged, bool truth_faulty) {
+void tally(WidthTally& t, bool flagged, bool truth_faulty, bool patched, bool single_fault) {
   if (truth_faulty) {
     ++(flagged ? t.detected : t.missed);
+    if (patched) ++t.patched;
+    if (single_fault) {
+      ++t.single_fault;
+      if (patched) ++t.single_patched;
+    }
   } else if (flagged) {
     ++t.false_pos;
   }
@@ -112,9 +117,12 @@ SweepResult run_sweep(const SweepConfig& cfg) {
         const tensor::MatI8 a8 = random_i8(cfg.shapes[s].m, cfg.shapes[s].k, rng);
         models[s].run_into(a8, injector, rng, run, scratch);
         if (run.truth_faulty) ++cell.faulty_trials;
-        tally(cell.reference, run.reference.faulty(), run.truth_faulty);
+        const bool single = run.faulty_elems == 1;
+        tally(cell.reference, run.reference.faulty(), run.truth_faulty, run.reference_patched,
+              single);
         for (std::size_t w = 0; w < run.by_width.size(); ++w) {
-          tally(cell.widths[w], run.by_width[w].flagged, run.truth_faulty);
+          tally(cell.widths[w], run.by_width[w].flagged, run.truth_faulty,
+                run.by_width[w].patched, single);
         }
       }
     }
@@ -133,10 +141,16 @@ CoverageSummary summarize(const SweepResult& r) {
     sum.reference.detected += cell.reference.detected;
     sum.reference.missed += cell.reference.missed;
     sum.reference.false_pos += cell.reference.false_pos;
+    sum.reference.patched += cell.reference.patched;
+    sum.reference.single_fault += cell.reference.single_fault;
+    sum.reference.single_patched += cell.reference.single_patched;
     for (std::size_t w = 0; w < cell.widths.size(); ++w) {
       sum.widths[w].detected += cell.widths[w].detected;
       sum.widths[w].missed += cell.widths[w].missed;
       sum.widths[w].false_pos += cell.widths[w].false_pos;
+      sum.widths[w].patched += cell.widths[w].patched;
+      sum.widths[w].single_fault += cell.widths[w].single_fault;
+      sum.widths[w].single_patched += cell.widths[w].single_patched;
     }
   }
   return sum;
@@ -185,7 +199,8 @@ util::TablePrinter critical_region_table(const SweepResult& r, std::size_t shape
 void write_csv(std::ostream& os, const SweepResult& r) {
   util::TablePrinter table;
   table.header({"shape", "m", "k", "n", "bit", "ber", "width", "model", "trials", "faulty",
-                "detected", "missed", "false_pos", "detection_rate"});
+                "detected", "missed", "false_pos", "detection_rate", "patched", "single_fault",
+                "single_patched", "patch_rate", "single_patch_rate"});
   const auto emit = [&](const CellResult& cell, const WidthTally& t, const char* model) {
     const SweepShape& shape = r.cfg.shapes[cell.shape_index];
     table.row({std::to_string(cell.shape_index), std::to_string(shape.m), std::to_string(shape.k),
@@ -194,7 +209,11 @@ void write_csv(std::ostream& os, const SweepResult& r) {
                std::to_string(cell.trials), std::to_string(cell.faulty_trials),
                std::to_string(t.detected), std::to_string(t.missed),
                std::to_string(t.false_pos),
-               util::TablePrinter::num(t.detection_rate(cell.faulty_trials), 4)});
+               util::TablePrinter::num(t.detection_rate(cell.faulty_trials), 4),
+               std::to_string(t.patched), std::to_string(t.single_fault),
+               std::to_string(t.single_patched),
+               util::TablePrinter::num(t.patch_rate(cell.faulty_trials), 4),
+               util::TablePrinter::num(t.single_patch_rate(), 4)});
   };
   for (const CellResult& cell : r.cells) {
     emit(cell, cell.reference, "reference");
@@ -207,7 +226,11 @@ void write_json(std::ostream& os, const SweepResult& r) {
   const auto tally_json = [&os](const WidthTally& t, std::size_t faulty) {
     os << "{\"bits\": " << t.bits << ", \"detected\": " << t.detected
        << ", \"missed\": " << t.missed << ", \"false_pos\": " << t.false_pos
-       << ", \"detection_rate\": " << util::TablePrinter::num(t.detection_rate(faulty), 4) << "}";
+       << ", \"detection_rate\": " << util::TablePrinter::num(t.detection_rate(faulty), 4)
+       << ", \"patched\": " << t.patched << ", \"single_fault\": " << t.single_fault
+       << ", \"single_patched\": " << t.single_patched
+       << ", \"patch_rate\": " << util::TablePrinter::num(t.patch_rate(faulty), 4)
+       << ", \"single_patch_rate\": " << util::TablePrinter::num(t.single_patch_rate(), 4) << "}";
   };
   os << "{\n  \"schema_version\": 1,\n";
   os << "  \"overflow\": \"" << to_string(r.cfg.overflow) << "\",\n";

@@ -46,17 +46,34 @@ struct SweepConfig {
   bool two_sided = true;
 };
 
-/// Detection tallies for one datapath within one cell (or aggregated).
+/// Detection + correction tallies for one datapath within one cell (or
+/// aggregated).
 struct WidthTally {
   int bits = 0;
   std::size_t detected = 0;   ///< ground-truth faulty and flagged
   std::size_t missed = 0;     ///< ground-truth faulty, screened clean
   std::size_t false_pos = 0;  ///< ground-truth clean, flagged
+  // Correction axis: the width-limited weighted-basis patch simulation
+  // (sa::simulate_patch) run on every flagged faulty trial.
+  std::size_t patched = 0;         ///< flagged trials the patch healed exactly
+  std::size_t single_fault = 0;    ///< faulty trials corrupting exactly one element
+  std::size_t single_patched = 0;  ///< single-fault trials the patch healed
 
   /// detected / faulty; 0 when no faulty trials (rates over an empty set
   /// stay finite so tables and JSON never carry NaN).
   [[nodiscard]] double detection_rate(std::size_t faulty) const noexcept {
     return faulty == 0 ? 0.0 : static_cast<double>(detected) / static_cast<double>(faulty);
+  }
+  /// patched / faulty — the fraction of injected faults healed in place.
+  [[nodiscard]] double patch_rate(std::size_t faulty) const noexcept {
+    return faulty == 0 ? 0.0 : static_cast<double>(patched) / static_cast<double>(faulty);
+  }
+  /// single_patched / single_fault — 1.0 at full width under wrap (the
+  /// invariant coverage_sweep gates on).
+  [[nodiscard]] double single_patch_rate() const noexcept {
+    return single_fault == 0
+               ? 0.0
+               : static_cast<double>(single_patched) / static_cast<double>(single_fault);
   }
 
   bool operator==(const WidthTally&) const = default;

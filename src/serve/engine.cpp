@@ -187,7 +187,8 @@ void ServeEngine::worker_loop() {
         ++counters_.completed;
         counters_.tiles_screened += response.verdict.tiles;
         counters_.tiles_detected += response.verdict.tiles_detected;
-        counters_.tiles_corrected += response.verdict.tiles_corrected;
+        counters_.tiles_patched += response.verdict.tiles_patched;
+        counters_.tiles_recomputed += response.verdict.tiles_recomputed;
         counters_.latency_ms.add(latency_ms);
         latency_window_.add(latency_ms);
         slot.response = std::move(response);

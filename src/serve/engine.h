@@ -152,8 +152,13 @@ struct ServeStats {
   std::uint64_t expired = 0;    ///< retired at the deadline, never computed
   std::uint64_t failed = 0;     ///< worker threw (wait() rethrows)
   std::uint64_t tiles_screened = 0;
-  std::uint64_t tiles_detected = 0;  ///< flagged, not certified corrected
-  std::uint64_t tiles_corrected = 0;
+  std::uint64_t tiles_detected = 0;    ///< flagged, not certified corrected
+  std::uint64_t tiles_patched = 0;     ///< healed by the in-place algebraic patch
+  std::uint64_t tiles_recomputed = 0;  ///< healed by the full recompute replay
+  /// Tiles healed by either correction mode.
+  [[nodiscard]] std::uint64_t tiles_corrected() const noexcept {
+    return tiles_patched + tiles_recomputed;
+  }
   util::RunningStat latency_ms;  ///< cumulative over completed requests
   double window_p50_ms = 0;      ///< sliding window, last stats_window completions
   double window_p99_ms = 0;      ///< sliding window, last stats_window completions

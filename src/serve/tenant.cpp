@@ -42,7 +42,8 @@ void TenantBook::record_completed(std::string_view tenant, double latency_ms,
   State& s = state_locked(tenant);
   ++s.completed;
   if (verdict != detect::Verdict::kClean) ++s.requests_faulty;
-  if (verdict == detect::Verdict::kCorrected) ++s.requests_corrected;
+  if (verdict == detect::Verdict::kPatched) ++s.requests_patched;
+  if (verdict == detect::Verdict::kRecomputed) ++s.requests_recomputed;
   if (verdict == detect::Verdict::kDetected) ++s.requests_detected;
   s.latency_ms.add(latency_ms);
   s.latency_window.add(latency_ms);
@@ -65,7 +66,8 @@ TenantStats TenantBook::stats(std::string_view tenant) const {
   out.expired = s.expired;
   out.failed = s.failed;
   out.requests_faulty = s.requests_faulty;
-  out.requests_corrected = s.requests_corrected;
+  out.requests_patched = s.requests_patched;
+  out.requests_recomputed = s.requests_recomputed;
   out.requests_detected = s.requests_detected;
   out.latency_ms = s.latency_ms;
   out.window_count = s.latency_window.count();

@@ -37,10 +37,17 @@ struct TenantStats {
   std::uint64_t expired = 0;    ///< deadline passed while queued
   std::uint64_t failed = 0;     ///< worker threw
 
-  // Verdict counters over completed requests.
-  std::uint64_t requests_faulty = 0;     ///< verdict != kClean
-  std::uint64_t requests_corrected = 0;  ///< verdict == kCorrected
-  std::uint64_t requests_detected = 0;   ///< verdict == kDetected (uncorrected)
+  // Verdict counters over completed requests. The worst-wins merge means a
+  // "patched" request healed every faulty tile via the cheap in-place patch,
+  // while "recomputed" means at least one tile needed the full replay.
+  std::uint64_t requests_faulty = 0;      ///< verdict != kClean
+  std::uint64_t requests_patched = 0;     ///< verdict == kPatched
+  std::uint64_t requests_recomputed = 0;  ///< verdict == kRecomputed
+  std::uint64_t requests_detected = 0;    ///< verdict == kDetected (uncorrected)
+  /// Requests healed by either correction mode.
+  [[nodiscard]] std::uint64_t requests_corrected() const noexcept {
+    return requests_patched + requests_recomputed;
+  }
 
   util::RunningStat latency_ms;  ///< cumulative over completed requests
 
@@ -57,8 +64,15 @@ struct TenantStats {
   }
   [[nodiscard]] double correction_rate() const noexcept {
     return requests_faulty
-               ? static_cast<double>(requests_corrected) / static_cast<double>(requests_faulty)
+               ? static_cast<double>(requests_corrected()) / static_cast<double>(requests_faulty)
                : 0.0;
+  }
+  /// Fraction of corrected requests healed by the cheap in-place patch (the
+  /// latency-cliff avoidance rate the serving gate watches).
+  [[nodiscard]] double patch_rate() const noexcept {
+    return requests_corrected() ? static_cast<double>(requests_patched) /
+                                      static_cast<double>(requests_corrected())
+                                : 0.0;
   }
 };
 
@@ -93,7 +107,8 @@ class TenantBook {
     std::uint64_t expired = 0;
     std::uint64_t failed = 0;
     std::uint64_t requests_faulty = 0;
-    std::uint64_t requests_corrected = 0;
+    std::uint64_t requests_patched = 0;
+    std::uint64_t requests_recomputed = 0;
     std::uint64_t requests_detected = 0;
     util::RunningStat latency_ms;
     util::SlidingWindow latency_window;

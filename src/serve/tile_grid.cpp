@@ -11,12 +11,14 @@ namespace realm::serve {
 namespace {
 
 /// Severity order for the worst-wins merge: an uncorrected detection outranks
-/// a certified correction, which outranks clean.
+/// either certified correction, and the recompute replay (the latency cliff)
+/// outranks the in-place patch, which outranks clean.
 int severity(detect::Verdict v) noexcept {
   switch (v) {
     case detect::Verdict::kClean: return 0;
-    case detect::Verdict::kCorrected: return 1;
-    case detect::Verdict::kDetected: return 2;
+    case detect::Verdict::kPatched: return 1;
+    case detect::Verdict::kRecomputed: return 2;
+    case detect::Verdict::kDetected: return 3;
   }
   return 0;
 }
@@ -25,7 +27,7 @@ int severity(detect::Verdict v) noexcept {
 
 void BatchVerdict::reset() noexcept {
   verdict = detect::Verdict::kClean;
-  tiles = tiles_clean = tiles_detected = tiles_corrected = 0;
+  tiles = tiles_clean = tiles_detected = tiles_patched = tiles_recomputed = 0;
   msd_abs_max = 0;
   max_dev_pow2 = 0;
   fault_cols.clear();
@@ -38,7 +40,8 @@ void BatchVerdict::merge_tile(const detect::DetectionVerdict& v, std::size_t col
   switch (v.verdict) {
     case detect::Verdict::kClean: ++tiles_clean; break;
     case detect::Verdict::kDetected: ++tiles_detected; break;
-    case detect::Verdict::kCorrected: ++tiles_corrected; break;
+    case detect::Verdict::kPatched: ++tiles_patched; break;
+    case detect::Verdict::kRecomputed: ++tiles_recomputed; break;
   }
   if (severity(v.verdict) > severity(verdict)) verdict = v.verdict;
   msd_abs_max = std::max(msd_abs_max, v.msd_abs);

@@ -72,8 +72,9 @@ struct TileGridConfig {
 /// Aggregated verdict of one request across every tile of the grid.
 ///
 /// Merge rules (merge_tile):
-///  * verdict: worst wins, ordered kDetected > kCorrected > kClean — one
-///    uncorrected tile poisons the request even if every other tile healed.
+///  * verdict: worst wins, ordered kDetected > kRecomputed > kPatched >
+///    kClean — one uncorrected tile poisons the request even if every other
+///    tile healed, and a recompute (latency cliff) outranks the cheap patch.
 ///  * fault_cols: per-tile column indices shifted by the tile's origin, so
 ///    they index the assembled [m x n] output directly.
 ///  * fault_rows: union across tiles (finalize() sorts and dedups — the same
@@ -85,8 +86,14 @@ struct BatchVerdict {
   detect::Verdict verdict = detect::Verdict::kClean;
   std::size_t tiles = 0;
   std::size_t tiles_clean = 0;
-  std::size_t tiles_detected = 0;  ///< flagged and NOT certified corrected
-  std::size_t tiles_corrected = 0;
+  std::size_t tiles_detected = 0;   ///< flagged and NOT certified corrected
+  std::size_t tiles_patched = 0;    ///< corrected by the in-place algebraic patch
+  std::size_t tiles_recomputed = 0; ///< corrected by the full recompute replay
+
+  /// Tiles corrected by either mode (patch + recompute).
+  [[nodiscard]] std::size_t tiles_corrected() const noexcept {
+    return tiles_patched + tiles_recomputed;
+  }
   std::uint64_t msd_abs_max = 0;
   int max_dev_pow2 = 0;
   std::vector<std::size_t> fault_cols;  ///< global column indices, ascending

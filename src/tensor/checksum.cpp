@@ -31,6 +31,30 @@ std::vector<std::int64_t> row_sums(const MatI32& m) {
   return sums;
 }
 
+std::vector<std::int64_t> weighted_col_sums(const MatI8& m) {
+  std::vector<std::int64_t> sums(m.cols());
+  kernels::weighted_col_sums_i8(m.data(), m.rows(), m.cols(), sums.data());
+  return sums;
+}
+
+std::vector<std::int64_t> weighted_col_sums(const MatI32& m) {
+  std::vector<std::int64_t> sums(m.cols());
+  kernels::weighted_col_sums_i32(m.data(), m.rows(), m.cols(), sums.data());
+  return sums;
+}
+
+std::vector<std::int64_t> weighted_row_sums(const MatI8& m) {
+  std::vector<std::int64_t> sums(m.rows());
+  kernels::weighted_row_sums_i8(m.data(), m.rows(), m.cols(), sums.data());
+  return sums;
+}
+
+std::vector<std::int64_t> weighted_row_sums(const MatI32& m) {
+  std::vector<std::int64_t> sums(m.rows());
+  kernels::weighted_row_sums_i32(m.data(), m.rows(), m.cols(), sums.data());
+  return sums;
+}
+
 std::vector<std::int64_t> predict_col_checksum(const MatI8& a, const MatI8& b) {
   if (a.cols() != b.rows()) throw std::invalid_argument("predict_col_checksum: dim mismatch");
   const std::vector<std::int64_t> ea = col_sums(a);  // 1 x k

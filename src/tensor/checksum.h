@@ -32,6 +32,15 @@ namespace realm::tensor {
 [[nodiscard]] std::vector<std::int64_t> row_sums(const MatI8& m);
 [[nodiscard]] std::vector<std::int64_t> row_sums(const MatI32& m);
 
+/// Weighted checksum bases for the multi-fault ABFT solve (see
+/// src/detect/correct.h): uᵀM with u = [1,2,3,…] and M·v with v = [1,2,3,…].
+/// The ratio of weighted to plain deviation recovers the faulty row (column
+/// solve) or column (row solve) index plus one.
+[[nodiscard]] std::vector<std::int64_t> weighted_col_sums(const MatI8& m);
+[[nodiscard]] std::vector<std::int64_t> weighted_col_sums(const MatI32& m);
+[[nodiscard]] std::vector<std::int64_t> weighted_row_sums(const MatI8& m);
+[[nodiscard]] std::vector<std::int64_t> weighted_row_sums(const MatI32& m);
+
 /// Predicted column checksum of A·B, i.e. (eᵀA)·B, computed from the inputs.
 [[nodiscard]] std::vector<std::int64_t> predict_col_checksum(const MatI8& a, const MatI8& b);
 

@@ -67,6 +67,35 @@ void row_sums_portable(const T* m, std::size_t cols, std::size_t r0, std::size_t
   }
 }
 
+// Weighted-basis reductions (uᵀM and M·v with weights [1,2,3,…]). Correction
+// path only — runs on detected tiles, never in the clean hot loop — so
+// portable scalar bodies behind the standard sharding are plenty; exact int64
+// keeps them bit-identical at every tier and thread count.
+
+template <typename T>
+void weighted_col_sums_portable(const T* m, std::size_t rows, std::size_t cols, std::size_t j0,
+                                std::size_t j1, std::int64_t* out) {
+  for (std::size_t j = j0; j < j1; ++j) out[j] = 0;
+  for (std::size_t r = 0; r < rows; ++r) {
+    const T* row = m + r * cols;
+    const auto w = static_cast<std::int64_t>(r + 1);
+    for (std::size_t j = j0; j < j1; ++j) out[j] += w * static_cast<std::int64_t>(row[j]);
+  }
+}
+
+template <typename T>
+void weighted_row_sums_portable(const T* m, std::size_t cols, std::size_t r0, std::size_t r1,
+                                std::int64_t* out) {
+  for (std::size_t r = r0; r < r1; ++r) {
+    const T* row = m + r * cols;
+    std::int64_t acc = 0;
+    for (std::size_t j = 0; j < cols; ++j) {
+      acc += static_cast<std::int64_t>(j + 1) * static_cast<std::int64_t>(row[j]);
+    }
+    out[r] = acc;
+  }
+}
+
 void predict_col_portable(const std::int64_t* ea, const std::int8_t* b, std::size_t k,
                           std::size_t n, std::size_t j0, std::size_t j1, std::int64_t* out) {
   for (std::size_t j = j0; j < j1; ++j) out[j] = 0;
@@ -505,6 +534,38 @@ void row_sums_i32(const std::int32_t* m, std::size_t rows, std::size_t cols,
     (void)t;
 #endif
     row_sums_portable(m, cols, r0, r1, out);
+  });
+}
+
+void weighted_col_sums_i8(const std::int8_t* m, std::size_t rows, std::size_t cols,
+                          std::int64_t* out) {
+  if (cols == 0) return;
+  util::global_pool().parallel_for(cols, kColGrain, [&](std::size_t j0, std::size_t j1) {
+    weighted_col_sums_portable(m, rows, cols, j0, j1, out);
+  });
+}
+
+void weighted_col_sums_i32(const std::int32_t* m, std::size_t rows, std::size_t cols,
+                           std::int64_t* out) {
+  if (cols == 0) return;
+  util::global_pool().parallel_for(cols, kColGrain, [&](std::size_t j0, std::size_t j1) {
+    weighted_col_sums_portable(m, rows, cols, j0, j1, out);
+  });
+}
+
+void weighted_row_sums_i8(const std::int8_t* m, std::size_t rows, std::size_t cols,
+                          std::int64_t* out) {
+  if (rows == 0) return;
+  util::global_pool().parallel_for(rows, kRowGrain, [&](std::size_t r0, std::size_t r1) {
+    weighted_row_sums_portable(m, cols, r0, r1, out);
+  });
+}
+
+void weighted_row_sums_i32(const std::int32_t* m, std::size_t rows, std::size_t cols,
+                           std::int64_t* out) {
+  if (rows == 0) return;
+  util::global_pool().parallel_for(rows, kRowGrain, [&](std::size_t r0, std::size_t r1) {
+    weighted_row_sums_portable(m, cols, r0, r1, out);
   });
 }
 

@@ -40,6 +40,22 @@ void col_sums_i32(const std::int32_t* m, std::size_t rows, std::size_t cols, std
 void row_sums_i8(const std::int8_t* m, std::size_t rows, std::size_t cols, std::int64_t* out);
 void row_sums_i32(const std::int32_t* m, std::size_t rows, std::size_t cols, std::int64_t* out);
 
+/// Weighted-basis reductions for the multi-fault ABFT solve (correction path
+/// only — cold, portable scalar bodies behind the same sharding as the exact
+/// kernels, so they stay bit-identical at every tier and thread count).
+///
+/// uᵀM with u = [1,2,3,…]: out[j] = Σ_r (r+1)·m[r][j]  (length cols).
+void weighted_col_sums_i8(const std::int8_t* m, std::size_t rows, std::size_t cols,
+                          std::int64_t* out);
+void weighted_col_sums_i32(const std::int32_t* m, std::size_t rows, std::size_t cols,
+                           std::int64_t* out);
+
+/// M·v with v = [1,2,3,…]: out[r] = Σ_j (j+1)·m[r][j]  (length rows).
+void weighted_row_sums_i8(const std::int8_t* m, std::size_t rows, std::size_t cols,
+                          std::int64_t* out);
+void weighted_row_sums_i32(const std::int32_t* m, std::size_t rows, std::size_t cols,
+                           std::int64_t* out);
+
 /// Width-truncated i32 reductions, modeling `bits`-wide checksum registers
 /// (the realm::sa reduced-width datapath; bits is clamped to [0, 64] by the
 /// wrap/clamp helpers — 64 reproduces the exact kernels above).

@@ -447,27 +447,48 @@ std::atomic<Tier>& tier_slot() {
 /// `csum` requested, each shard reduces into a private partial merged under a
 /// lock — int64 addition is associative and commutative, so the merged sums
 /// are bit-identical at every thread count and merge order.
+///
+/// With `wcsum` also requested, the weighted reduction uᵀC (u = [1,2,3,…]) is
+/// folded at shard granularity right after the shard's kernel finishes: the C
+/// rows it just stored are still cache-hot, and the row weight (i+1) depends
+/// only on the global row index, so shard partials merge exactly like the
+/// plain sums — bit-identical at every tier and thread count.
 template <typename Rows>
-void shard_rows_fused(std::size_t m, std::size_t n, std::int64_t* csum, const Rows& rows) {
-  if (!csum) {
+void shard_rows_fused(std::size_t m, std::size_t n, const std::int32_t* c, std::int64_t* csum,
+                      std::int64_t* wcsum, const Rows& rows) {
+  if (!csum && !wcsum) {
     util::global_pool().parallel_for(
         m, kRowGrain, [&](std::size_t i0, std::size_t i1) { rows(i0, i1, nullptr); });
     return;
   }
   std::mutex mu;
   util::global_pool().parallel_for(m, kRowGrain, [&](std::size_t i0, std::size_t i1) {
-    std::vector<std::int64_t> local(n, 0);
-    rows(i0, i1, local.data());
+    std::vector<std::int64_t> local(csum ? n : 0, 0);
+    rows(i0, i1, csum ? local.data() : nullptr);
+    std::vector<std::int64_t> wlocal(wcsum ? n : 0, 0);
+    if (wcsum) {
+      for (std::size_t i = i0; i < i1; ++i) {
+        const std::int32_t* crow = c + i * n;
+        const auto w = static_cast<std::int64_t>(i + 1);
+        for (std::size_t j = 0; j < n; ++j) wlocal[j] += w * static_cast<std::int64_t>(crow[j]);
+      }
+    }
     const std::lock_guard<std::mutex> lock(mu);
-    for (std::size_t j = 0; j < n; ++j) csum[j] += local[j];
+    if (csum) {
+      for (std::size_t j = 0; j < n; ++j) csum[j] += local[j];
+    }
+    if (wcsum) {
+      for (std::size_t j = 0; j < n; ++j) wcsum[j] += wlocal[j];
+    }
   });
 }
 
 #if REALM_X86
 /// Row-shard the macro-loop over already-packed panels.
 void run_simd_rows(Tier t, const std::int8_t* a, const std::int16_t* pb, std::int32_t* c,
-                   std::size_t m, std::size_t k, std::size_t n, std::int64_t* csum) {
-  shard_rows_fused(m, n, csum, [&](std::size_t i0, std::size_t i1, std::int64_t* cs) {
+                   std::size_t m, std::size_t k, std::size_t n, std::int64_t* csum,
+                   std::int64_t* wcsum) {
+  shard_rows_fused(m, n, c, csum, wcsum, [&](std::size_t i0, std::size_t i1, std::int64_t* cs) {
     if (t == Tier::kAvx512) {
       avx512_rows(a, pb, c, k, n, i0, i1, cs);
     } else {
@@ -481,7 +502,7 @@ void run_simd_rows(Tier t, const std::int8_t* a, const std::int16_t* pb, std::in
 /// O(k*n)), then row-shard the macro-loop across the global pool.
 void gemm_simd(Tier t, const std::int8_t* a, const std::int8_t* b, std::int32_t* c,
                std::size_t m, std::size_t k, std::size_t n, bool b_transposed,
-               std::int64_t* csum) {
+               std::int64_t* csum, std::int64_t* wcsum) {
 #if REALM_X86
   const std::size_t nr = nr_for(t);
   const std::size_t kpairs = (k + 1) / 2;
@@ -492,14 +513,16 @@ void gemm_simd(Tier t, const std::int8_t* a, const std::int8_t* b, std::int32_t*
   } else {
     pack_b_panels(b, k, n, nr, pb.data());
   }
-  run_simd_rows(t, a, pb.data(), c, m, k, n, csum);
+  run_simd_rows(t, a, pb.data(), c, m, k, n, csum, wcsum);
 #else
   (void)t;
-  if (b_transposed) {
-    portable_bt_rows(a, b, c, k, n, 0, m, csum);
-  } else {
-    portable_rows(a, b, c, k, n, 0, m, csum);
-  }
+  shard_rows_fused(m, n, c, csum, wcsum, [&](std::size_t i0, std::size_t i1, std::int64_t* cs) {
+    if (b_transposed) {
+      portable_bt_rows(a, b, c, k, n, i0, i1, cs);
+    } else {
+      portable_rows(a, b, c, k, n, i0, i1, cs);
+    }
+  });
 #endif
 }
 
@@ -530,8 +553,9 @@ void set_active_tier(Tier t) {
 }
 
 void gemm_i8(const std::int8_t* a, const std::int8_t* b, std::int32_t* c, std::size_t m,
-             std::size_t k, std::size_t n, std::int64_t* col_sums) {
+             std::size_t k, std::size_t n, std::int64_t* col_sums, std::int64_t* wcol_sums) {
   if (col_sums) std::fill_n(col_sums, n, std::int64_t{0});
+  if (wcol_sums) std::fill_n(wcol_sums, n, std::int64_t{0});
   if (m == 0 || n == 0) return;
   if (k == 0) {
     std::memset(c, 0, m * n * sizeof(std::int32_t));
@@ -539,12 +563,13 @@ void gemm_i8(const std::int8_t* a, const std::int8_t* b, std::int32_t* c, std::s
   }
   const Tier t = active_tier();
   if (t == Tier::kPortable) {
-    shard_rows_fused(m, n, col_sums, [&](std::size_t i0, std::size_t i1, std::int64_t* cs) {
-      portable_rows(a, b, c, k, n, i0, i1, cs);
-    });
+    shard_rows_fused(m, n, c, col_sums, wcol_sums,
+                     [&](std::size_t i0, std::size_t i1, std::int64_t* cs) {
+                       portable_rows(a, b, c, k, n, i0, i1, cs);
+                     });
     return;
   }
-  gemm_simd(t, a, b, c, m, k, n, /*b_transposed=*/false, col_sums);
+  gemm_simd(t, a, b, c, m, k, n, /*b_transposed=*/false, col_sums, wcol_sums);
 }
 
 PackedB pack_b(const std::int8_t* b, std::size_t k, std::size_t n) {
@@ -568,27 +593,31 @@ PackedB pack_b(const std::int8_t* b, std::size_t k, std::size_t n) {
 
 void gemm_i8_prepacked(const std::int8_t* a, const std::int8_t* b, const PackedB& pb,
                        std::int32_t* c, std::size_t m, std::size_t k, std::size_t n,
-                       std::int64_t* col_sums) {
+                       std::int64_t* col_sums, std::int64_t* wcol_sums) {
   if (m == 0 || n == 0) {
     if (col_sums) std::fill_n(col_sums, n, std::int64_t{0});
+    if (wcol_sums) std::fill_n(wcol_sums, n, std::int64_t{0});
     return;
   }
 #if REALM_X86
   const Tier t = active_tier();
   if (k > 0 && t != Tier::kPortable && pb.valid_for(t, k, n)) {
     if (col_sums) std::fill_n(col_sums, n, std::int64_t{0});
-    run_simd_rows(t, a, pb.panels_.data(), c, m, k, n, col_sums);
+    if (wcol_sums) std::fill_n(wcol_sums, n, std::int64_t{0});
+    run_simd_rows(t, a, pb.panels_.data(), c, m, k, n, col_sums, wcol_sums);
     return;
   }
 #else
   (void)pb;
 #endif
-  gemm_i8(a, b, c, m, k, n, col_sums);
+  gemm_i8(a, b, c, m, k, n, col_sums, wcol_sums);
 }
 
 void gemm_i8_bt(const std::int8_t* a, const std::int8_t* bt, std::int32_t* c, std::size_t m,
-                std::size_t k, std::size_t n, std::int64_t* col_sums) {
+                std::size_t k, std::size_t n, std::int64_t* col_sums,
+                std::int64_t* wcol_sums) {
   if (col_sums) std::fill_n(col_sums, n, std::int64_t{0});
+  if (wcol_sums) std::fill_n(wcol_sums, n, std::int64_t{0});
   if (m == 0 || n == 0) return;
   if (k == 0) {
     std::memset(c, 0, m * n * sizeof(std::int32_t));
@@ -596,12 +625,13 @@ void gemm_i8_bt(const std::int8_t* a, const std::int8_t* bt, std::int32_t* c, st
   }
   const Tier t = active_tier();
   if (t == Tier::kPortable) {
-    shard_rows_fused(m, n, col_sums, [&](std::size_t i0, std::size_t i1, std::int64_t* cs) {
-      portable_bt_rows(a, bt, c, k, n, i0, i1, cs);
-    });
+    shard_rows_fused(m, n, c, col_sums, wcol_sums,
+                     [&](std::size_t i0, std::size_t i1, std::int64_t* cs) {
+                       portable_bt_rows(a, bt, c, k, n, i0, i1, cs);
+                     });
     return;
   }
-  gemm_simd(t, a, bt, c, m, k, n, /*b_transposed=*/true, col_sums);
+  gemm_simd(t, a, bt, c, m, k, n, /*b_transposed=*/true, col_sums, wcol_sums);
 }
 
 }  // namespace realm::tensor::kernels

@@ -1,0 +1,20 @@
+// Fixture: applies an in-place algebraic patch to the accumulator and
+// returns without re-screening it. A wrong solve (aliased deviations that
+// happen to divide cleanly) would be silently accepted as healed output —
+// realm-lint must flag this as rescreen.
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace realm::detect {
+
+struct Acc {
+  std::int32_t& operator()(std::size_t r, std::size_t c);
+};
+
+bool patch_without_recheck(Acc& acc, std::size_t row, std::size_t col, std::int32_t delta) {
+  acc(row, col) -= delta;  // BAD: patched accumulator never re-screened
+  return true;
+}
+
+}  // namespace realm::detect

@@ -1,0 +1,27 @@
+// Fixture: the blessed corrector idioms that must stay clean under the
+// rescreen rule — a patch followed by a screen_accumulator(...) re-check in
+// the same function, and a deliberately unchecked mutation carrying an
+// allow() pragma with a rationale.
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace realm::detect {
+
+struct Acc {
+  std::int32_t& operator()(std::size_t r, std::size_t c);
+};
+
+bool screen_accumulator(const Acc& acc);
+
+bool patch_then_recheck(Acc& acc, std::size_t row, std::size_t col, std::int32_t delta) {
+  acc(row, col) -= delta;
+  return screen_accumulator(acc);  // certified-or-recompute: re-screen the patch
+}
+
+void scrub_for_test(Acc& acc) {
+  // realm-lint: allow(rescreen): test-only scrub; caller re-screens the tile
+  acc(0, 0) = 0;
+}
+
+}  // namespace realm::detect

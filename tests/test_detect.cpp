@@ -66,7 +66,7 @@ REALM_TEST(magfreq_sweep_detects_everything) {
       REALM_CHECK(r.report.msd_abs > pg.config().msd_threshold);
       REALM_CHECK_EQ(r.report.msd_abs,
                      freq * static_cast<std::uint64_t>(mag < 0 ? -mag : mag));
-      REALM_CHECK(r.report.verdict == Verdict::kCorrected);
+      REALM_CHECK(corrected(r.report.verdict));
       ++cells;
     }
   }
@@ -76,7 +76,8 @@ REALM_TEST(magfreq_sweep_detects_everything) {
 REALM_TEST(localization_intersects_rows_and_columns) {
   Rng rng(33);
   DetectionConfig cfg;
-  cfg.recompute_on_detect = false;  // keep the corrupted accumulator visible
+  cfg.patch_on_detect = false;  // keep the corrupted accumulator visible
+  cfg.recompute_on_detect = false;
   ProtectedGemm pg = make_pg(32, 16, rng, cfg);
 
   // Inject a single known error by comparing against the fault-free run.
@@ -109,8 +110,8 @@ REALM_TEST(correction_recomputes_exact_output) {
   const MagFreqInjector inj(12345, 5);
   const ProtectedGemmResult corrected = pg.run_quantized(a8, qa, inj, rng);
 
-  REALM_CHECK(corrected.report.verdict == Verdict::kCorrected);
-  REALM_CHECK(corrected.acc == golden.acc);      // bit-exact replay
+  REALM_CHECK(realm::detect::corrected(corrected.report.verdict));
+  REALM_CHECK(corrected.acc == golden.acc);      // bit-exact healed tile
   REALM_CHECK(corrected.output == golden.output);
   REALM_CHECK_EQ(corrected.report.injection.corrupted_values, std::uint64_t{5});
 }
@@ -136,6 +137,7 @@ REALM_TEST(msd_only_mode_and_thresholding) {
   DetectionConfig cfg;
   cfg.mode = CheckMode::kMsdOnly;
   cfg.msd_threshold = 1000;
+  cfg.patch_on_detect = false;
   cfg.recompute_on_detect = false;
   ProtectedGemm pg = make_pg(32, 16, rng, cfg);
   const MatF a = random_f32(4, 32, rng);
@@ -162,6 +164,7 @@ REALM_TEST(narrow_msd_datapath_still_detects_sign) {
   DetectionConfig cfg;
   cfg.mode = CheckMode::kMsdOnly;
   cfg.msd_datapath_bits = 16;
+  cfg.patch_on_detect = false;
   cfg.recompute_on_detect = false;
   ProtectedGemm pg = make_pg(32, 16, rng, cfg);
   const MatF a = random_f32(4, 32, rng);
@@ -203,7 +206,7 @@ REALM_TEST(column_cancelling_fault_caught_by_rows) {
   REALM_CHECK_EQ(r.report.msd_abs, std::uint64_t{0});  // column side is blind
   REALM_CHECK(r.report.fault_cols.empty());
   REALM_CHECK_EQ(r.report.fault_rows.size(), std::size_t{2});
-  REALM_CHECK(r.report.verdict == Verdict::kCorrected);  // rows flag + recompute
+  REALM_CHECK(corrected(r.report.verdict));  // rows flag + heal (patch or replay)
 }
 
 REALM_TEST(screen_accumulator_matches_pipeline_verdict) {
@@ -213,7 +216,8 @@ REALM_TEST(screen_accumulator_matches_pipeline_verdict) {
   // the contract the realm::sa reference comparison stands on.
   Rng rng(42);
   DetectionConfig cfg;
-  cfg.recompute_on_detect = false;  // keep the faulted accumulator visible
+  cfg.patch_on_detect = false;  // keep the faulted accumulator visible
+  cfg.recompute_on_detect = false;
   ProtectedGemm pg = make_pg(32, 24, rng, cfg);
   const MatF a = random_f32(8, 32, rng);
   const QuantParams qa = calibrate(a.flat());
@@ -244,7 +248,7 @@ REALM_TEST(screen_accumulator_matches_pipeline_verdict) {
   pg_fix.set_weights_quantized(pg.weights(), pg.weight_params());
   const ProtectedGemmResult corrected =
       pg_fix.run_quantized(a8, qa, MagFreqInjector(1 << 18, 2), rng);
-  REALM_CHECK(corrected.report.verdict == Verdict::kCorrected);
+  REALM_CHECK(realm::detect::corrected(corrected.report.verdict));
   const std::vector<std::int64_t> predicted = predict_col_checksum(a8, pg_fix.weights());
   REALM_CHECK(screen_accumulator(pg_fix.config(), predicted, a8, pg_fix.weight_row_basis(),
                                  corrected.acc)
@@ -316,11 +320,12 @@ REALM_TEST(fast_path_detects_and_corrects_with_threads_on_and_off) {
   realm::util::set_global_threads(1);
   const ProtectedGemmResult golden = pg.run_quantized(a8, qa, none, rng);
   const ProtectedGemmResult serial = pg.run_quantized(a8, qa, inj, rng);
-  REALM_CHECK(serial.report.verdict == Verdict::kCorrected);
+  REALM_CHECK(serial.report.verdict == Verdict::kPatched);  // lone flip: patched in place
   REALM_CHECK(serial.acc == golden.acc);
 
   // Localization from a detect-only config, serial vs threaded.
   DetectionConfig no_fix;
+  no_fix.patch_on_detect = false;
   no_fix.recompute_on_detect = false;
   ProtectedGemm pg_loc(no_fix);
   pg_loc.set_weights_quantized(pg.weights(), pg.weight_params());
@@ -328,7 +333,7 @@ REALM_TEST(fast_path_detects_and_corrects_with_threads_on_and_off) {
   for (const std::size_t threads : {std::size_t{1}, std::size_t{8}}) {
     realm::util::set_global_threads(threads);
     const ProtectedGemmResult fixed = pg.run_quantized(a8, qa, inj, rng);
-    REALM_CHECK(fixed.report.verdict == Verdict::kCorrected);
+    REALM_CHECK(fixed.report.verdict == Verdict::kPatched);
     REALM_CHECK(fixed.acc == golden.acc);       // corrected bits identical
     REALM_CHECK(fixed.output == golden.output);
     const ProtectedGemmResult located = pg_loc.run_quantized(a8, qa, inj, rng);

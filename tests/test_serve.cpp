@@ -113,13 +113,19 @@ REALM_TEST(batch_verdict_merge_rules) {
   bv.reset();
 
   DetectionVerdict clean;  // defaults to kClean
-  DetectionVerdict corrected;
-  corrected.verdict = Verdict::kCorrected;
-  corrected.msd_abs = 100;
-  corrected.max_dev_pow2 = 7;
-  corrected.fault_cols = {1, 3};
-  corrected.fault_rows = {0, 2};
-  corrected.injection = {4, 2};
+  DetectionVerdict patched;
+  patched.verdict = Verdict::kPatched;
+  patched.msd_abs = 100;
+  patched.max_dev_pow2 = 7;
+  patched.fault_cols = {1, 3};
+  patched.fault_rows = {0, 2};
+  patched.injection = {4, 2};
+  DetectionVerdict recomputed;
+  recomputed.verdict = Verdict::kRecomputed;
+  recomputed.msd_abs = 80;
+  recomputed.fault_cols = {2};
+  recomputed.fault_rows = {0};
+  recomputed.injection = {2, 1};
   DetectionVerdict detected;
   detected.verdict = Verdict::kDetected;
   detected.msd_abs = 50;
@@ -129,27 +135,31 @@ REALM_TEST(batch_verdict_merge_rules) {
 
   bv.merge_tile(clean, 0);
   REALM_CHECK(bv.verdict == Verdict::kClean);
-  bv.merge_tile(corrected, 16);
-  REALM_CHECK(bv.verdict == Verdict::kCorrected);  // corrected outranks clean
-  bv.merge_tile(detected, 32);
-  REALM_CHECK(bv.verdict == Verdict::kDetected);  // detected outranks corrected
-  bv.merge_tile(corrected, 48);
+  bv.merge_tile(patched, 16);
+  REALM_CHECK(bv.verdict == Verdict::kPatched);  // patched outranks clean
+  bv.merge_tile(recomputed, 32);
+  REALM_CHECK(bv.verdict == Verdict::kRecomputed);  // replay (latency cliff) outranks patch
+  bv.merge_tile(detected, 48);
+  REALM_CHECK(bv.verdict == Verdict::kDetected);  // uncorrected outranks both heals
+  bv.merge_tile(patched, 64);
   REALM_CHECK(bv.verdict == Verdict::kDetected);  // worst sticks
   bv.finalize();
 
-  REALM_CHECK_EQ(bv.tiles, std::size_t{4});
+  REALM_CHECK_EQ(bv.tiles, std::size_t{5});
   REALM_CHECK_EQ(bv.tiles_clean, std::size_t{1});
-  REALM_CHECK_EQ(bv.tiles_corrected, std::size_t{2});
+  REALM_CHECK_EQ(bv.tiles_patched, std::size_t{2});
+  REALM_CHECK_EQ(bv.tiles_recomputed, std::size_t{1});
+  REALM_CHECK_EQ(bv.tiles_corrected(), std::size_t{3});
   REALM_CHECK_EQ(bv.tiles_detected, std::size_t{1});
   REALM_CHECK_EQ(bv.msd_abs_max, std::uint64_t{100});
   REALM_CHECK_EQ(bv.max_dev_pow2, 7);
   // Columns carry each tile's origin; rows are the dedup'd union.
-  const std::vector<std::size_t> want_cols{17, 19, 32, 49, 51};
+  const std::vector<std::size_t> want_cols{17, 19, 34, 48, 65, 67};
   REALM_CHECK(bv.fault_cols == want_cols);
   const std::vector<std::size_t> want_rows{0, 2, 5};
   REALM_CHECK(bv.fault_rows == want_rows);
-  REALM_CHECK_EQ(bv.injection.flipped_bits, std::uint64_t{9});
-  REALM_CHECK_EQ(bv.injection.corrupted_values, std::uint64_t{5});
+  REALM_CHECK_EQ(bv.injection.flipped_bits, std::uint64_t{11});
+  REALM_CHECK_EQ(bv.injection.corrupted_values, std::uint64_t{6});
   REALM_CHECK(bv.faulty());
 
   bv.reset();
@@ -224,10 +234,10 @@ REALM_TEST(single_tile_fault_localizes_to_globally_offset_columns) {
   BatchVerdict bv;
   grid.run_into(a8, qa, per_tile, Rng(11), scratch, out, bv);
 
-  // The fault heals by recompute, but its localization must point into the
-  // attacked tile's GLOBAL column range.
-  REALM_CHECK(bv.verdict == Verdict::kCorrected);
-  REALM_CHECK_EQ(bv.tiles_corrected, std::size_t{1});
+  // The fault heals (in-place patch, or replay when the solve aliases), but
+  // its localization must point into the attacked tile's GLOBAL column range.
+  REALM_CHECK(realm::detect::corrected(bv.verdict));
+  REALM_CHECK_EQ(bv.tiles_corrected(), std::size_t{1});
   REALM_CHECK_EQ(bv.tiles_clean, grid.tile_count() - 1);
   REALM_CHECK(!bv.fault_cols.empty());
   for (const std::size_t c : bv.fault_cols) {
@@ -253,7 +263,8 @@ REALM_TEST(multi_tile_faults_aggregate_worst_verdict) {
 
   TileGridConfig cfg;
   cfg.tile_cols = 16;  // 3 tiles
-  cfg.detect.recompute_on_detect = false;  // keep faults visible as kDetected
+  cfg.detect.patch_on_detect = false;  // keep faults visible as kDetected
+  cfg.detect.recompute_on_detect = false;
   const TileGrid grid(w8, qw, cfg);
 
   const NullInjector none;
@@ -771,8 +782,8 @@ REALM_TEST(stats_window_slides_and_reset_clears) {
   REALM_CHECK_EQ(st.window_count, std::size_t{4});  // capped at the window span
   REALM_CHECK(st.window_p99_ms >= st.window_p50_ms);
   REALM_CHECK_EQ(st.latency_ms.count(), std::size_t{6});  // cumulative keeps all
-  // Every request corrects its single faulty tile.
-  REALM_CHECK_EQ(st.tiles_corrected, std::uint64_t{6 * grid.tile_count()});
+  // Every request corrects its single faulty tile (by either healing mode).
+  REALM_CHECK_EQ(st.tiles_corrected(), std::uint64_t{6 * grid.tile_count()});
 
   engine.reset_stats();
   st = engine.stats();

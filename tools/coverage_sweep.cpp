@@ -7,7 +7,9 @@
 // Exits nonzero if a wrap-overflow sweep produces a non-monotone coverage
 // curve (detected at width w must never exceed detected at width w' > w —
 // guaranteed by the nesting argument in sa/datapath.h, so a violation means
-// the model itself regressed). CI runs `--smoke` on every push.
+// the model itself regressed), or if the single-fault patch rate at the
+// full-width datapath falls below 100% (exact deviations always solve a lone
+// corrupted element — see detect/correct.h). CI runs `--smoke` on every push.
 #include <algorithm>
 #include <cstdint>
 #include <cstdlib>
@@ -148,8 +150,8 @@ int main(int argc, char** argv) {
   realm::util::TablePrinter summary(
       std::string("coverage by checksum width (") + realm::sa::to_string(cfg.overflow) +
       ", trials=" + std::to_string(sum.trials) + ", faulty=" + std::to_string(sum.faulty) + ")");
-  summary.header({"width", "detected", "missed", "false_pos", "coverage", "cell_min",
-                  "cell_max"});
+  summary.header({"width", "detected", "missed", "false_pos", "coverage", "cell_min", "cell_max",
+                  "patched", "patch_rate", "1f_patch_rate"});
   const auto summary_row = [&](const realm::sa::WidthTally& t, bool reference) {
     realm::util::RunningStat cell_rates;
     for (const realm::sa::CellResult& cell : result.cells) {
@@ -167,7 +169,10 @@ int main(int argc, char** argv) {
                  std::to_string(t.false_pos),
                  realm::util::TablePrinter::pct(t.detection_rate(sum.faulty), 1),
                  realm::util::TablePrinter::num(cell_rates.min(), 3),
-                 realm::util::TablePrinter::num(cell_rates.max(), 3)});
+                 realm::util::TablePrinter::num(cell_rates.max(), 3),
+                 std::to_string(t.patched),
+                 realm::util::TablePrinter::pct(t.patch_rate(sum.faulty), 1),
+                 realm::util::TablePrinter::pct(t.single_patch_rate(), 1)});
   };
   for (const realm::sa::WidthTally& t : sum.widths) summary_row(t, false);
   summary_row(sum.reference, true);
@@ -207,6 +212,23 @@ int main(int argc, char** argv) {
     if (!ordered.empty() && sum.reference.detected < ordered.back().detected) {
       std::cerr << "coverage_sweep: reference screen detected less than width "
                 << ordered.back().bits << "\n";
+      return 1;
+    }
+    // Single-fault patch rate at the full-width datapath must be exactly
+    // 100% under wrap: the deviations are exact there, so the weighted-basis
+    // solve always reconstructs a lone corrupted element. Anything less means
+    // the correction algebra regressed.
+    for (const realm::sa::WidthTally& t : sum.widths) {
+      if (t.bits == 64 && t.single_patched != t.single_fault) {
+        std::cerr << "coverage_sweep: full-width single-fault patch rate "
+                  << t.single_patched << "/" << t.single_fault << " != 100%\n";
+        return 1;
+      }
+    }
+    if (sum.reference.single_patched != sum.reference.single_fault) {
+      std::cerr << "coverage_sweep: reference single-fault patch rate "
+                << sum.reference.single_patched << "/" << sum.reference.single_fault
+                << " != 100%\n";
       return 1;
     }
   }

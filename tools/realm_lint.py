@@ -28,6 +28,12 @@ enforces the invariants the test suite can only sample:
   rng-source      No rand()/srand()/std::mt19937/std::random_device outside
                   src/util/rng.*. All randomness flows through util::Rng so
                   every experiment is replayable from one seed.
+  rescreen        An in-place accumulator mutation in src/detect (writing
+                  through an `*acc*` call/index expression, the corrector's
+                  patch idiom) must be followed by a screen_accumulator(...)
+                  re-check later in the same function. A patch that is not
+                  re-screened can silently accept a wrong algebraic solve —
+                  the certified-or-recompute contract in detect/correct.h.
   header-tu       Every header under src/ compiles as its own translation
                   unit (include-what-you-use at file granularity).
 
@@ -57,7 +63,8 @@ SAT_MATH_DIRS = ("src/detect", "src/sa")
 RNG_HOME = ("src/util/rng.h", "src/util/rng.cpp")
 SAT_HELPERS = re.compile(r"\b(sat_add_i64|sat_add_u64|sat_sub_i64|wrap_to_bits|clamp_to_bits)\b")
 ALLOW_RE = re.compile(r"//\s*realm-lint:\s*allow\(([a-z0-9-]+)\)(:\s*\S.*)?")
-RULES = ("rng-fork", "sat-math", "avx512-pragma", "rng-source", "header-tu")
+RULES = ("rng-fork", "sat-math", "avx512-pragma", "rng-source", "rescreen", "header-tu")
+RESCREEN_DIRS = ("src/detect",)
 
 
 class Finding:
@@ -357,6 +364,43 @@ def check_rng_source(path, code, raw_lines, findings):
             f"through util::Rng so runs replay from one seed"))
 
 
+# Writing through an accumulator-ish lvalue: `acc(i, j) = ...`,
+# `out_acc[idx] += ...` — the corrector's in-place patch idiom.
+ACC_MUTATE_RE = re.compile(r"\b(\w*acc\w*)\s*(?:\([^()]*\)|\[[^\]]*\])\s*(\+=|-=|=)(?!=)")
+SCREEN_CALL_RE = re.compile(r"\bscreen_accumulator\s*\(")
+# Any plausible function definition: identifier + parameter list + body brace,
+# minus the control-flow keywords that share that shape.
+FUNC_DEF_NAME_RE = re.compile(
+    r"\b(?!if\b|for\b|while\b|switch\b|catch\b|return\b|sizeof\b|constexpr\b|noexcept\b)"
+    r"[A-Za-z_]\w*\s*\(")
+
+
+def check_rescreen(path, code, raw_lines, findings):
+    if not str(path).replace(os.sep, "/").startswith(RESCREEN_DIRS):
+        return
+    spans = None  # computed lazily; most detect files never patch in place
+    for m in ACC_MUTATE_RE.finditer(code):
+        if spans is None:
+            spans = function_body_spans(code, FUNC_DEF_NAME_RE)
+        containing = [s for s in spans if s[0] <= m.start() < s[1]]
+        if not containing:
+            continue  # file-scope initializer, not a patch site
+        # Innermost enclosing definition: spans nest, so the latest start wins.
+        _, end = max(containing, key=lambda s: s[0])
+        if SCREEN_CALL_RE.search(code, m.end(), end):
+            continue
+        lineno = code.count("\n", 0, m.start()) + 1
+        allowed, bad = allows_for_line(raw_lines, lineno)
+        note_bare_allows(path, bad, findings)
+        if "rescreen" in allowed:
+            continue
+        findings.append(Finding(
+            path, lineno, "rescreen",
+            f"in-place mutation of '{m.group(1)}' with no screen_accumulator(...) "
+            f"re-check later in the same function; an unverified patch can accept "
+            f"a wrong algebraic solve (see detect/correct.h)"))
+
+
 def note_bare_allows(path, bad_lines, findings):
     for ln in bad_lines:
         findings.append(Finding(path, ln, "allow-rationale",
@@ -430,6 +474,7 @@ def main():
         check_avx512_pragma(rel, strip_comments_and_strings(raw, keep_strings=True),
                             raw_lines, findings)
         check_rng_source(rel, code, raw_lines, findings)
+        check_rescreen(rel, code, raw_lines, findings)
 
     if not args.no_headers:
         headers = sorted((root / "src").glob("**/*.h")) if (root / "src").is_dir() else []

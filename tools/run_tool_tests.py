@@ -6,7 +6,9 @@ every checker gets both directions pinned against committed fixtures:
 
   * bench/compare_baseline.py over tests/tooldata/bench_*.json — passes a
     clean run, trips on a raw_gops regression, a detect_ms regression, a
-    missing shape, and a multi-threaded record;
+    missing shape, and a multi-threaded record; the serve-async fault-load
+    dispatch passes a clean record and trips on a patched-path p99
+    regression and on a patch rate under the floor;
   * tools/check_links.py over tests/tooldata/links_*.md — passes valid
     links/anchors (including duplicate-heading suffixes), trips on a missing
     file and on a dead anchor;
@@ -80,6 +82,15 @@ def main():
     expect("compare_baseline rejects multi-threaded records",
            [compare, tooldata / "bench_current_multithread.json", base], want_zero=False,
            want_in_output="single-thread")
+    expect("compare_baseline passes a clean serve fault-load run",
+           [compare, tooldata / "bench_serve_fault_ok.json", base], want_zero=True,
+           want_in_output="serve fault-load gate passed")
+    expect("compare_baseline trips on fault-load p99 regression",
+           [compare, tooldata / "bench_serve_fault_slow_p99.json", base], want_zero=False,
+           want_in_output="fault_patched_p99_ms")
+    expect("compare_baseline trips on fault-load patch-rate floor",
+           [compare, tooldata / "bench_serve_fault_low_patch.json", base], want_zero=False,
+           want_in_output="fault_patch_rate")
 
     expect("check_links passes valid links and anchors",
            [links, tooldata / "links_ok.md"], want_zero=True)
@@ -97,6 +108,7 @@ def main():
         ("src/tensor/bad_missing_pragma.cpp", "avx512-pragma"),
         ("src/serve/bad_mt19937.cpp", "rng-source"),
         ("src/util/bad_header.h", "header-tu"),
+        ("src/detect/bad_patch_no_rescreen.cpp", "rescreen"),
     ]
     for fixture, rule in lint_cases:
         expect(f"realm_lint trips {rule} on {fixture}",
@@ -104,6 +116,9 @@ def main():
                want_in_output=f"[{rule}]")
     expect("realm_lint passes the good-patterns fixture",
            [lint, "--root", lintdata, "--no-headers", "src/sa/good_patterns.cpp"],
+           want_zero=True)
+    expect("realm_lint passes the patch-then-rescreen fixture",
+           [lint, "--root", lintdata, "--no-headers", "src/detect/good_patch_rescreen.cpp"],
            want_zero=True)
     expect("realm_lint passes the real tree",
            [lint, "--root", root], want_zero=True)
