@@ -21,6 +21,7 @@
 
 #include "detect/detect.h"
 #include "fault/fault.h"
+#include "fault/memory.h"
 #include "sa/datapath.h"
 #include "serve/engine.h"
 #include "serve/tile_grid.h"
@@ -66,7 +67,7 @@ struct ShapeResult {
 
 int usage() {
   std::cerr << "usage: protected_gemm_bench [--csv] [--threads N] [--repeat N] [--json FILE]"
-               " [--smoke] [--serve] [--serve-async] [--sa]\n"
+               " [--smoke] [--serve] [--serve-async [--fault-model]] [--sa]\n"
             << "  --csv        emit CSV instead of a box-drawn table\n"
             << "  --threads N  total GEMM threads (default 1; sets the global pool).\n"
             << "               With --serve/--serve-async: engine workers instead\n"
@@ -86,6 +87,10 @@ int usage() {
             << "               weight hot-swap mid-stream, and per-tenant req/s +\n"
             << "               sliding-window p50/p99; exits nonzero on any dropped\n"
             << "               request or wrong verdict (the hot-swap-under-load gate)\n"
+            << "  --fault-model  (with --serve-async) route the injected subset's\n"
+            << "               activations through the memory-hierarchy fault model\n"
+            << "               (fault::MemoryFaultModel); the JSON record reports the\n"
+            << "               per-component flip tallies\n"
             << "  --sa         reduced-width datapath mode: time the realm::sa screen\n"
             << "               at several register widths/overflow semantics against\n"
             << "               the exact int64 reductions (wrap rides SIMD, saturate\n"
@@ -376,7 +381,11 @@ int serve_main(bool csv, bool smoke, long threads, int repeat, const std::string
 /// dropped request, any verdict that disagrees with the injected fault plan
 /// (clean traffic must screen clean, injected traffic must correct), or a
 /// patched-path p99 at or above the recompute p99 (non-smoke) exits nonzero.
-int serve_async_main(bool csv, bool smoke, long threads, int repeat, const std::string& json_path) {
+/// With --fault-model the injected subset additionally routes its activations
+/// through the memory-hierarchy fault model (fault::MemoryFaultModel), and the
+/// JSON record carries the per-component flip tallies.
+int serve_async_main(bool csv, bool smoke, long threads, int repeat, const std::string& json_path,
+                     bool fault_model) {
   namespace rt = realm::tensor;
   realm::util::Rng rng(0x5e7a);
   // Request-level parallelism only; each worker's GEMMs run inline.
@@ -400,6 +409,16 @@ int serve_async_main(bool csv, bool smoke, long threads, int repeat, const std::
   for (std::size_t i = 0; i < nshapes; ++i) acts.push_back(random_i8(m / 2, k, rng));
   const realm::fault::MagFreqInjector mag(1 << 20, 3);
 
+  // Memory-hierarchy strike model (--fault-model): activation bytes of the
+  // injected subset flip at a small BER before quantized staging. Attached
+  // only to requests that already carry the accumulator injector, so the
+  // clean-traffic side of the verdict self-gate below stays exact.
+  realm::fault::MemoryFaultConfig mfc;
+  mfc.seed = 0xfa117;
+  mfc.activations.ber = 1e-4;
+  const realm::fault::MemoryFaultModel memory(mfc);
+  const realm::fault::MemoryFaultModel* mem = fault_model ? &memory : nullptr;
+
   realm::serve::ServeConfig scfg;
   scfg.workers = static_cast<std::size_t>(threads);
   scfg.queue_capacity = 16;
@@ -422,9 +441,10 @@ int serve_async_main(bool csv, bool smoke, long threads, int repeat, const std::
   std::vector<realm::serve::Ticket> tickets;
   tickets.reserve(total);
   const auto submit_one = [&](std::size_t i) {
+    const bool injected = (i % 8 == 7);
     realm::serve::Request rq =
-        realm::serve::Request::borrow(acts[i % acts.size()], qa,
-                                      (i % 8 == 7) ? &mag : nullptr);
+        realm::serve::Request::borrow(acts[i % acts.size()], qa, injected ? &mag : nullptr,
+                                      injected ? mem : nullptr);
     realm::serve::SubmitOptions opt;
     // Two tenants, two lanes: "pro" is interactive foreground traffic, "free"
     // rides the batch lane and yields to it under strict priority.
@@ -548,7 +568,7 @@ int serve_async_main(bool csv, bool smoke, long threads, int repeat, const std::
       std::cerr << "protected_gemm_bench: cannot write " << json_path << "\n";
       return 1;
     }
-    char buf[1536];
+    char buf[2048];
     std::snprintf(buf, sizeof(buf),
                   "{\n"
                   "  \"schema_version\": 1,\n"
@@ -567,6 +587,9 @@ int serve_async_main(bool csv, bool smoke, long threads, int repeat, const std::
                   "  \"tiles_patched\": %llu,\n"
                   "  \"tiles_recomputed\": %llu,\n"
                   "  \"tiles_corrected\": %llu,\n"
+                  "  \"fault_model\": %d,\n"
+                  "  \"activation_flips\": %llu,\n"
+                  "  \"accumulator_flips\": %llu,\n"
                   "  \"fault_requests\": %zu,\n"
                   "  \"fault_patched_p99_ms\": %.4f,\n"
                   "  \"fault_recompute_p99_ms\": %.4f,\n"
@@ -578,8 +601,15 @@ int serve_async_main(bool csv, bool smoke, long threads, int repeat, const std::
                   static_cast<unsigned long long>(st.failed),
                   static_cast<unsigned long long>(st.tiles_patched),
                   static_cast<unsigned long long>(st.tiles_recomputed),
-                  static_cast<unsigned long long>(st.tiles_corrected()), fault_total,
-                  fault_patched_p99, fault_recompute_p99, fault_patch_rate);
+                  static_cast<unsigned long long>(st.tiles_corrected()),
+                  fault_model ? 1 : 0,
+                  static_cast<unsigned long long>(
+                      st.component_flips[static_cast<std::size_t>(
+                          realm::fault::Component::kActivations)]),
+                  static_cast<unsigned long long>(
+                      st.component_flips[static_cast<std::size_t>(
+                          realm::fault::Component::kAccumulator)]),
+                  fault_total, fault_patched_p99, fault_recompute_p99, fault_patch_rate);
     os << buf;
   }
 
@@ -606,6 +636,7 @@ int main(int argc, char** argv) {
   bool smoke = false;
   bool serve = false;
   bool serve_async = false;
+  bool fault_model = false;
   bool sa = false;
   long threads = 1;
   int repeat = 0;  // 0 = auto
@@ -620,6 +651,8 @@ int main(int argc, char** argv) {
       serve = true;
     } else if (arg == "--serve-async") {
       serve_async = true;
+    } else if (arg == "--fault-model") {
+      fault_model = true;
     } else if (arg == "--sa") {
       sa = true;
     } else if (arg == "--threads" && i + 1 < argc) {
@@ -637,8 +670,9 @@ int main(int argc, char** argv) {
   if (static_cast<int>(serve) + static_cast<int>(serve_async) + static_cast<int>(sa) > 1) {
     return usage();
   }
+  if (fault_model && !serve_async) return usage();  // only meaningful for the async engine
   if (serve) return serve_main(csv, smoke, threads, repeat, json_path);
-  if (serve_async) return serve_async_main(csv, smoke, threads, repeat, json_path);
+  if (serve_async) return serve_async_main(csv, smoke, threads, repeat, json_path, fault_model);
   if (sa) return sa_main(csv, smoke, threads, repeat, json_path);
   realm::util::set_global_threads(static_cast<std::size_t>(threads));
   realm::util::Rng rng(0xbe7c);

@@ -5,6 +5,7 @@
 #include <utility>
 
 #include "detect/correct.h"
+#include "fault/memory.h"
 #include "tensor/gemm.h"
 #include "util/bitmath.h"
 
@@ -99,7 +100,48 @@ void ProtectedGemm::set_weights_quantized(tensor::MatI8 w8, tensor::QuantParams 
 
 bool ProtectedGemm::verify_weight_integrity() const {
   if (w8_.empty()) throw std::logic_error("ProtectedGemm: set_weights() not called");
-  return tensor::row_sums(w8_) == w_row_basis_ && tensor::col_sums(w8_) == w_col_basis_;
+  if (tensor::row_sums(w8_) != w_row_basis_ || tensor::col_sums(w8_) != w_col_basis_) {
+    return false;
+  }
+  // Panel leg: the packed SIMD image must still be the pack of w8_. A fresh
+  // repack against a byte-compare is exact — any at-rest panel corruption is
+  // caught, independent of value or position. Only meaningful when the
+  // resident panels target the active tier/shape (otherwise every GEMM
+  // repacks fresh and stale panels are never consumed).
+  if (w_packed_.valid_for(tensor::kernels::active_tier(), w8_.rows(), w8_.cols())) {
+    const tensor::kernels::PackedB repacked =
+        tensor::kernels::pack_b(w8_.data(), w8_.rows(), w8_.cols());
+    const std::span<const std::int16_t> fresh = repacked.raw_panels();
+    const std::span<const std::int16_t> resident = w_packed_.raw_panels();
+    if (fresh.size() != resident.size() ||
+        !std::equal(fresh.begin(), fresh.end(), resident.begin())) {
+      return false;
+    }
+  }
+  return true;
+}
+
+std::uint64_t ProtectedGemm::corrupt_weights(const fault::MemoryFaultModel& memory,
+                                             std::uint64_t op,
+                                             std::vector<fault::FlipRecord>* record) {
+  if (w8_.empty()) throw std::logic_error("ProtectedGemm: set_weights() not called");
+  const std::uint64_t flips =
+      memory.corrupt(fault::Component::kWeights, op, w8_.flat(), record);
+  if (flips != 0) {
+    // The load strike lands before packing: the panels are packed from the
+    // corrupted image, so the GEMM consumes it consistently and only the
+    // bases (captured from the clean image) can expose the damage.
+    w_packed_ = tensor::kernels::pack_b(w8_.data(), w8_.rows(), w8_.cols());
+  }
+  return flips;
+}
+
+std::uint64_t ProtectedGemm::corrupt_panels(const fault::MemoryFaultModel& memory,
+                                            std::uint64_t op,
+                                            std::vector<fault::FlipRecord>* record) {
+  if (w8_.empty()) throw std::logic_error("ProtectedGemm: set_weights() not called");
+  return memory.corrupt16(fault::Component::kPackedPanels, op, w_packed_.mutable_panels(),
+                          record);
 }
 
 ProtectedGemmResult ProtectedGemm::run(const tensor::MatF& a,
@@ -120,24 +162,49 @@ ProtectedGemmResult ProtectedGemm::run_quantized(const tensor::MatI8& a8,
 
 void ProtectedGemm::run_quantized_into(const tensor::MatI8& a8, tensor::QuantParams qa,
                                        const fault::FaultInjector& injector, util::Rng& rng,
-                                       ProtectedGemmResult& result) const {
+                                       ProtectedGemmResult& result,
+                                       const fault::MemoryFaultModel* memory,
+                                       std::uint64_t op) const {
   if (w8_.empty()) throw std::logic_error("ProtectedGemm: set_weights() not called");
   if (a8.cols() != w8_.rows()) {
     throw std::invalid_argument("ProtectedGemm: activation/weight dim mismatch");
   }
 
-  // The fused store-phase reduction of the multiply IS the predicted column
-  // checksum: injection perturbs the accumulator only after this line, so
-  // the fused sums are eᵀ(A·W) of the true product, which equals (eᵀA)·W
-  // exactly (integer checksum identity — cross-checked in the test suite).
-  // This models the dedicated fault-free checksum datapath of Fig. 7 and
-  // replaces the scalar O(k·n) predict_col_checksum pass.
+  const bool strike_acts =
+      memory != nullptr && memory->enabled(fault::Component::kActivations);
+  std::uint64_t activation_flips = 0;
   std::vector<std::int64_t> predicted_cols;
-  tensor::gemm_i8_prepacked(a8, w8_, w_packed_, result.acc, &predicted_cols);
+  const tensor::MatI8* gemm_a = &a8;
+  if (strike_acts) {
+    // Per-request activation strike: the array consumes a working copy hit
+    // by the kActivations stream; the caller's a8 stands in for the golden
+    // producer copy. The predicted column checksum comes from that CLEAN
+    // copy — the checksum row travels with A from its fault-free producer —
+    // so the column screen sees the corruption; the row side (predicted
+    // below from the consumed image) is blind to it by construction.
+    result.a8_work = a8;
+    activation_flips =
+        memory->corrupt(fault::Component::kActivations, op, result.a8_work.flat());
+    gemm_a = &result.a8_work;
+    predicted_cols = tensor::predict_col_checksum(a8, w8_);
+    tensor::gemm_i8_prepacked(*gemm_a, w8_, w_packed_, result.acc);
+  } else {
+    // The fused store-phase reduction of the multiply IS the predicted column
+    // checksum: injection perturbs the accumulator only after this line, so
+    // the fused sums are eᵀ(A·W) of the true product, which equals (eᵀA)·W
+    // exactly (integer checksum identity — cross-checked in the test suite).
+    // This models the dedicated fault-free checksum datapath of Fig. 7 and
+    // replaces the scalar O(k·n) predict_col_checksum pass.
+    tensor::gemm_i8_prepacked(a8, w8_, w_packed_, result.acc, &predicted_cols);
+  }
   const fault::InjectionReport injection = injector.inject(result.acc.flat(), rng);
 
-  result.report = screen_accumulator(cfg_, predicted_cols, a8, w_row_basis_, result.acc);
+  result.report = screen_accumulator(cfg_, predicted_cols, *gemm_a, w_row_basis_, result.acc);
   result.report.injection = injection;
+  result.report.component_flips[static_cast<std::size_t>(fault::Component::kAccumulator)] =
+      injection.flipped_bits;
+  result.report.component_flips[static_cast<std::size_t>(fault::Component::kActivations)] =
+      activation_flips;
 
   if (result.report.verdict == Verdict::kDetected && cfg_.patch_on_detect) {
     // Algebraic in-place correction: solve fault positions and magnitudes
@@ -154,7 +221,9 @@ void ProtectedGemm::run_quantized_into(const tensor::MatI8& a8, tensor::QuantPar
     // Fault-free replay of the tile; re-screen with the full criteria so a
     // correction is only claimed when the recheck actually comes back clean
     // (a column-only recheck would certify row-detected fault classes it
-    // never re-examined).
+    // never re-examined). The replay consumes the caller's a8 — on the
+    // memory-model path that is a re-fetch of the golden producer copy, so
+    // an activation strike is recomputed away just like an accumulator one.
     tensor::gemm_i8_prepacked(a8, w8_, w_packed_, result.acc);
     if (screen_accumulator(cfg_, predicted_cols, a8, w_row_basis_, result.acc).verdict ==
         Verdict::kClean) {

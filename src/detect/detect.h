@@ -40,6 +40,10 @@
 #include "tensor/tensor.h"
 #include "util/rng.h"
 
+namespace realm::fault {
+class MemoryFaultModel;  // fault/memory.h — at-rest weight/panel/activation strikes
+}
+
 namespace realm::detect {
 
 /// What the detector concluded about one protected GEMM.
@@ -96,6 +100,12 @@ struct DetectionVerdict {
   std::vector<std::size_t> fault_cols;
   std::vector<std::size_t> fault_rows;
   fault::InjectionReport injection;  ///< what the injector reported doing
+  /// Bit flips injected DURING this run, by memory-hierarchy component:
+  /// kAccumulator mirrors injection.flipped_bits, kActivations counts the
+  /// memory model's pre-GEMM activation strikes. Weight/panel flips happen at
+  /// load/rest time (corrupt_weights/corrupt_panels), outside any single run,
+  /// so their slots stay zero here and are tallied by the owner of the tile.
+  fault::ComponentFlips component_flips{};
 
   [[nodiscard]] bool faulty() const noexcept { return verdict != Verdict::kClean; }
 };
@@ -104,6 +114,11 @@ struct ProtectedGemmResult {
   tensor::MatI32 acc;      ///< final accumulator (patched or recomputed when corrected)
   tensor::MatF output;     ///< dequantized float output of `acc`
   DetectionVerdict report;
+  /// Working copy of the activation operand when the memory fault model is
+  /// live: the GEMM consumes this (possibly corrupted) image while the
+  /// caller's a8 stands in for the producer's golden copy. Recycled across
+  /// runs like acc/output; empty on the injector-only path.
+  tensor::MatI8 a8_work;
 };
 
 /// The full-width (int64) checksum screen, exposed as a standalone step:
@@ -159,9 +174,42 @@ class ProtectedGemm {
   /// buffers (resized only on shape change), so back-to-back protected GEMMs
   /// pay no per-run allocation or page faults. The report is reset; all other
   /// semantics identical to run_quantized.
+  ///
+  /// When `memory` is non-null and its activation BER is nonzero, the run
+  /// models a per-request activation strike: a8 is copied into the result's
+  /// working buffer, corrupted from the counter-based stream
+  /// component_stream(seed, kActivations, op), and the GEMM consumes the
+  /// corrupted image. The predicted column checksum is then computed from the
+  /// CLEAN a8 (the checksum row travels with A from its fault-free producer,
+  /// exactly like the resident eᵀW row travels with W), so the column screen
+  /// is what catches activation corruption; the row side predicts from the
+  /// same corrupted image the array consumed and stays blind to it. Patch and
+  /// recompute both rehabilitate from the clean a8 (a recompute re-fetches
+  /// the golden DRAM copy), so corrected outputs are bit-equal to the
+  /// fault-free reference. memory == nullptr (or activation BER 0) is
+  /// bit-identical to the injector-only path.
   void run_quantized_into(const tensor::MatI8& a8, tensor::QuantParams qa,
                           const fault::FaultInjector& injector, util::Rng& rng,
-                          ProtectedGemmResult& result) const;
+                          ProtectedGemmResult& result,
+                          const fault::MemoryFaultModel* memory = nullptr,
+                          std::uint64_t op = 0) const;
+
+  /// Memory-hierarchy strike on the resident weight tile (the kWeights
+  /// component: a load-time upset at set_weights/swap_tile). Flips bits of
+  /// the quantized image and repacks the SIMD panels from the corrupted
+  /// image — the accelerator packs whatever it loaded, so the GEMM consumes
+  /// the corruption and only the base-capture scrub can notice. Returns the
+  /// number of bit flips applied. Must not race any run* call (same rule as
+  /// set_weights*).
+  std::uint64_t corrupt_weights(const fault::MemoryFaultModel& memory, std::uint64_t op,
+                                std::vector<fault::FlipRecord>* record = nullptr);
+
+  /// Memory-hierarchy strike on the packed panels only (the kPackedPanels
+  /// component: an at-rest SRAM upset between requests). The quantized image
+  /// and its bases stay clean, so the repack-compare leg of the scrub is
+  /// what catches it. Vacuous on the portable tier, which keeps no panels.
+  std::uint64_t corrupt_panels(const fault::MemoryFaultModel& memory, std::uint64_t op,
+                               std::vector<fault::FlipRecord>* record = nullptr);
 
   [[nodiscard]] const tensor::MatI8& weights() const noexcept { return w8_; }
   [[nodiscard]] tensor::QuantParams weight_params() const noexcept { return qw_; }
@@ -192,9 +240,18 @@ class ProtectedGemm {
 
   /// Scrub the stationary weight tile against its resident bases: recompute
   /// eᵀW and W·e from w8_ and compare with the values captured at
-  /// set_weights. False means the weight memory (not a GEMM) was corrupted —
-  /// the class of fault recompute-on-detect cannot fix, because replaying the
-  /// multiply reuses the same bad operand.
+  /// set_weights; then repack the panels from w8_ and byte-compare against
+  /// the resident panels (the kPackedPanels leg — exact, so ANY panel
+  /// corruption is caught; skipped when the resident panels were packed for
+  /// a different tier/shape and would be repacked at use anyway). The sum
+  /// legs are exact int64 identities: any SINGLE net weight fault is caught
+  /// unconditionally (it perturbs exactly one row sum and one column sum),
+  /// and a multi-fault pattern escapes only by cancelling in every row AND
+  /// every column simultaneously (e.g. a ±δ 2x2 anti-diagonal — a measure-
+  /// zero alignment under independent bit flips). False means
+  /// the weight memory (not a GEMM) was corrupted — the class of fault
+  /// recompute-on-detect cannot fix, because replaying the multiply reuses
+  /// the same bad operand; recovery is reloading from the golden host copy.
   [[nodiscard]] bool verify_weight_integrity() const;
 
  private:

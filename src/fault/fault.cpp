@@ -6,6 +6,31 @@
 
 namespace realm::fault {
 
+const char* to_string(Component c) noexcept {
+  switch (c) {
+    case Component::kWeights:
+      return "weights";
+    case Component::kPackedPanels:
+      return "panels";
+    case Component::kActivations:
+      return "activations";
+    case Component::kAccumulator:
+      return "accumulator";
+  }
+  return "unknown";
+}
+
+bool parse_component(std::string_view name, Component& out) noexcept {
+  for (const Component c : {Component::kWeights, Component::kPackedPanels,
+                            Component::kActivations, Component::kAccumulator}) {
+    if (name == to_string(c)) {
+      out = c;
+      return true;
+    }
+  }
+  return false;
+}
+
 RandomBitFlipInjector::RandomBitFlipInjector(double ber, int bit_lo, int bit_hi)
     : ber_(ber), bit_lo_(bit_lo), bit_hi_(bit_hi) {
   if (ber < 0.0 || ber > 1.0) throw std::invalid_argument("BER must be in [0,1]");

@@ -15,13 +15,41 @@
 //    region of Fig. 6.
 #pragma once
 
+#include <array>
+#include <cstddef>
 #include <cstdint>
 #include <span>
+#include <string_view>
 #include <vector>
 
 #include "util/rng.h"
 
 namespace realm::fault {
+
+/// Where in the memory hierarchy a fault strikes. The accumulator is the
+/// paper's original compute-path model (post-GEMM INT32 bit flips); the other
+/// three are the at-rest SRAM/DRAM strikes the memory-hierarchy model in
+/// fault/memory.h adds: stationary INT8 weights corrupted once at load,
+/// packed INT16 weight panels corrupted at rest between requests, and INT8
+/// activations corrupted per request before they feed the GEMM.
+enum class Component : std::uint8_t {
+  kWeights = 0,       ///< resident quantized weight tile (flipped at load)
+  kPackedPanels = 1,  ///< packed B panels at rest between requests
+  kActivations = 2,   ///< per-request activation operand, pre-GEMM
+  kAccumulator = 3,   ///< post-GEMM INT32 results (the FaultInjector path)
+};
+
+inline constexpr std::size_t kComponentCount = 4;
+
+/// Stable lowercase name ("weights", "panels", "activations", "accumulator").
+[[nodiscard]] const char* to_string(Component c) noexcept;
+
+/// Parse a component name as emitted by to_string. Returns false (leaving
+/// `out` untouched) on anything else.
+[[nodiscard]] bool parse_component(std::string_view name, Component& out) noexcept;
+
+/// Per-component bit-flip tallies, indexed by static_cast<size_t>(Component).
+using ComponentFlips = std::array<std::uint64_t, kComponentCount>;
 
 /// Outcome of one injection pass over a tensor.
 struct InjectionReport {
@@ -48,6 +76,12 @@ struct FlipRecord {
   std::int32_t before = 0;
   std::int32_t after = 0;
   std::int16_t bit = kAdditiveBit;
+  /// Which memory-hierarchy component the mutation struck. Defaults to the
+  /// accumulator so the original FaultInjector family (which predates the
+  /// component axis) stays source-compatible; the MemoryFaultModel streams
+  /// stamp their own component. For INT8/INT16 components, before/after hold
+  /// the sign-extended element values.
+  Component component = Component::kAccumulator;
 };
 
 /// Interface for anything that can corrupt an INT32 accumulator tensor.

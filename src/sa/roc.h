@@ -21,6 +21,7 @@
 #include <iosfwd>
 #include <vector>
 
+#include "fault/fault.h"
 #include "sa/datapath.h"
 #include "util/table.h"
 
@@ -44,6 +45,15 @@ struct SweepConfig {
   std::uint64_t seed = 0x50c0;
   std::uint64_t msd_threshold = 0;
   bool two_sided = true;
+  /// Memory-hierarchy components to attack — each adds a full BER ×
+  /// bit-position × shape grid. kAccumulator is the classic post-GEMM upset
+  /// (bit = accumulator bit 0..31); the other components corrupt the named
+  /// operand image before the GEMM (bit % 8 selects the attacked bit within
+  /// each byte) via fault::component_stream draws, so a component's cells
+  /// replay bit-identically whichever other components are swept.
+  /// kPackedPanels attacks the resident SIMD panels and is vacuous (all
+  /// trials clean) on the portable tier, which holds none.
+  std::vector<fault::Component> components = {fault::Component::kAccumulator};
 };
 
 /// Detection + correction tallies for one datapath within one cell (or
@@ -58,6 +68,15 @@ struct WidthTally {
   std::size_t patched = 0;         ///< flagged trials the patch healed exactly
   std::size_t single_fault = 0;    ///< faulty trials corrupting exactly one element
   std::size_t single_patched = 0;  ///< single-fault trials the patch healed
+  // Load/rest-time scrub axis (kWeights/kPackedPanels cells only; stays 0
+  // for request-time components). A trial whose component image was
+  // net-corrupted lands in exactly one of these two: for weights the scrub
+  // compares W's row+col checksums through registers of THIS width (exact at
+  // the int64 reference, where a miss is impossible — the gate
+  // coverage_sweep enforces); for panels it is the width-independent
+  // repack-compare, exact at every width.
+  std::size_t scrub_caught = 0;
+  std::size_t scrub_missed = 0;
 
   /// detected / faulty; 0 when no faulty trials (rates over an empty set
   /// stay finite so tables and JSON never carry NaN).
@@ -79,10 +98,11 @@ struct WidthTally {
   bool operator==(const WidthTally&) const = default;
 };
 
-/// One sweep cell: a (shape, bit position, BER) triple screened at every
-/// width over the same `trials` seeded fault draws.
+/// One sweep cell: a (shape, component, bit position, BER) tuple screened at
+/// every width over the same `trials` seeded fault draws.
 struct CellResult {
   std::size_t shape_index = 0;
+  fault::Component component = fault::Component::kAccumulator;
   int bit = 0;
   double ber = 0.0;
   std::size_t trials = 0;
@@ -95,8 +115,14 @@ struct CellResult {
 
 struct SweepResult {
   SweepConfig cfg;  ///< echo of what produced the cells
-  /// Shape-major, then bit position, then BER (the cell at
-  /// ((s * bits + b) * bers + e) covers shapes[s], bit_positions[b], bers[e]).
+  /// Shape-major, then component, then bit position, then BER: the cell at
+  /// (((s * components + q) * bits + b) * bers + e) covers shapes[s],
+  /// components[q], bit_positions[b], bers[e]. With the default single-
+  /// component config this is the classic (shape, bit, ber) layout — and
+  /// every cell's fault stream is forked from the COMPONENT-FREE index
+  /// (s*bits + b)*bers + e, so a cell's draws are bit-identical whichever
+  /// other components are swept alongside it (stream independence, pinned
+  /// by test_fault_model).
   std::vector<CellResult> cells;
 };
 
@@ -118,9 +144,17 @@ struct CoverageSummary {
 /// Critical-region map for one shape at one width: bit positions down, BERs
 /// across, per-cell detection rate ("-" when a cell saw no faulty trial).
 /// Pass bits == -1 for the int64 reference screen. Throws if shape_index or
-/// bits does not name a swept cell/width.
+/// bits does not name a swept cell/width. This overload reads the FIRST
+/// swept component's cells (the whole grid under the default config).
 [[nodiscard]] util::TablePrinter critical_region_table(const SweepResult& r,
                                                        std::size_t shape_index, int bits);
+
+/// Component-addressed variant: the map for shapes[shape_index] ×
+/// components[component_index] at `bits`. Throws if component_index does not
+/// name a swept component.
+[[nodiscard]] util::TablePrinter critical_region_table(const SweepResult& r,
+                                                       std::size_t shape_index,
+                                                       std::size_t component_index, int bits);
 
 /// Long-format CSV through util::TablePrinter: one row per cell per datapath
 /// (reference rows carry model "reference", reduced rows "wrap"/"saturate").

@@ -126,7 +126,10 @@ void ServeEngine::process(WorkerScratch& scratch, const Request& request, std::u
   // Shape-keyed scratch: mixed shapes in flight each recycle their own
   // buffer set instead of thrashing one set through reallocation.
   auto& tile_scratch = scratch.by_rows[a8.rows()];
-  grid_.run_into(a8, request.qa, inj, rng, tile_scratch, response.output, response.verdict);
+  // The stream tag doubles as the memory-model op: activation strike streams
+  // are keyed by (memory seed, stream, tile), replayable like the injector's.
+  grid_.run_into(a8, request.qa, inj, rng, tile_scratch, response.output, response.verdict,
+                 request.memory, stream);
   response.latency_ms = ms_since(t0);
 }
 
@@ -175,6 +178,7 @@ void ServeEngine::worker_loop() {
     }
     const double latency_ms = response.latency_ms;
     const detect::Verdict verdict = response.verdict.verdict;
+    const fault::ComponentFlips component_flips = response.verdict.component_flips;
     {
       const std::lock_guard<std::mutex> lock(mu_);
       Slot& slot = slots_.at(id);
@@ -189,6 +193,9 @@ void ServeEngine::worker_loop() {
         counters_.tiles_detected += response.verdict.tiles_detected;
         counters_.tiles_patched += response.verdict.tiles_patched;
         counters_.tiles_recomputed += response.verdict.tiles_recomputed;
+        for (std::size_t i = 0; i < fault::kComponentCount; ++i) {
+          counters_.component_flips[i] += component_flips[i];
+        }
         counters_.latency_ms.add(latency_ms);
         latency_window_.add(latency_ms);
         slot.response = std::move(response);
@@ -198,7 +205,7 @@ void ServeEngine::worker_loop() {
     if (error) {
       tenants_.record_failed(tenant);
     } else {
-      tenants_.record_completed(tenant, latency_ms, verdict, clock_->now());
+      tenants_.record_completed(tenant, latency_ms, verdict, component_flips, clock_->now());
     }
     done_cv_.notify_all();
   }

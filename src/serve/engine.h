@@ -102,26 +102,36 @@ struct Request {
   tensor::QuantParams qa{};
   /// Fault model for this request (nullptr = golden/NullInjector).
   const fault::FaultInjector* injector = nullptr;
+  /// Memory-hierarchy fault model for this request (nullptr = none): its
+  /// kActivations stream strikes the request's activation image per tile,
+  /// op-keyed by the request's fault stream — deterministic at any worker
+  /// count. Borrowed under the same ticket-scoped lifetime contract as the
+  /// injector.
+  const fault::MemoryFaultModel* memory = nullptr;
   /// Owned activation; when set it wins over `a8`.
   std::shared_ptr<const tensor::MatI8> owned;
 
   /// Borrowing constructor-helper: caller guarantees `a8` outlives the ticket.
   [[nodiscard]] static Request borrow(const tensor::MatI8& a8, tensor::QuantParams qa,
-                                      const fault::FaultInjector* injector = nullptr) {
+                                      const fault::FaultInjector* injector = nullptr,
+                                      const fault::MemoryFaultModel* memory = nullptr) {
     Request rq;
     rq.a8 = &a8;
     rq.qa = qa;
     rq.injector = injector;
+    rq.memory = memory;
     return rq;
   }
 
   /// Owning helper: the request carries the activation; nothing to outlive.
   [[nodiscard]] static Request own(tensor::MatI8 a8, tensor::QuantParams qa,
-                                   const fault::FaultInjector* injector = nullptr) {
+                                   const fault::FaultInjector* injector = nullptr,
+                                   const fault::MemoryFaultModel* memory = nullptr) {
     Request rq;
     rq.owned = std::make_shared<const tensor::MatI8>(std::move(a8));
     rq.qa = qa;
     rq.injector = injector;
+    rq.memory = memory;
     return rq;
   }
 
@@ -159,6 +169,9 @@ struct ServeStats {
   [[nodiscard]] std::uint64_t tiles_corrected() const noexcept {
     return tiles_patched + tiles_recomputed;
   }
+  /// Memory-hierarchy fault exposure summed over completed requests (the
+  /// request-time components; see BatchVerdict::component_flips).
+  fault::ComponentFlips component_flips{};
   util::RunningStat latency_ms;  ///< cumulative over completed requests
   double window_p50_ms = 0;      ///< sliding window, last stats_window completions
   double window_p99_ms = 0;      ///< sliding window, last stats_window completions

@@ -37,10 +37,15 @@ void TenantBook::record_failed(std::string_view tenant) {
 }
 
 void TenantBook::record_completed(std::string_view tenant, double latency_ms,
-                                  detect::Verdict verdict, util::TimePoint now) {
+                                  detect::Verdict verdict,
+                                  const fault::ComponentFlips& component_flips,
+                                  util::TimePoint now) {
   const std::lock_guard<std::mutex> lock(mu_);
   State& s = state_locked(tenant);
   ++s.completed;
+  for (std::size_t i = 0; i < fault::kComponentCount; ++i) {
+    s.component_flips[i] += component_flips[i];
+  }
   if (verdict != detect::Verdict::kClean) ++s.requests_faulty;
   if (verdict == detect::Verdict::kPatched) ++s.requests_patched;
   if (verdict == detect::Verdict::kRecomputed) ++s.requests_recomputed;
@@ -69,6 +74,7 @@ TenantStats TenantBook::stats(std::string_view tenant) const {
   out.requests_patched = s.requests_patched;
   out.requests_recomputed = s.requests_recomputed;
   out.requests_detected = s.requests_detected;
+  out.component_flips = s.component_flips;
   out.latency_ms = s.latency_ms;
   out.window_count = s.latency_window.count();
   if (out.window_count > 0) {

@@ -21,6 +21,7 @@
 #include <vector>
 
 #include "detect/detect.h"
+#include "fault/fault.h"
 #include "util/clock.h"
 #include "util/stats.h"
 
@@ -48,6 +49,12 @@ struct TenantStats {
   [[nodiscard]] std::uint64_t requests_corrected() const noexcept {
     return requests_patched + requests_recomputed;
   }
+
+  /// Memory-hierarchy fault exposure over completed requests, indexed by
+  /// fault::Component: kAccumulator/kActivations bits landed on this
+  /// tenant's requests (load/rest-time weight and panel faults are grid
+  /// state, not per-tenant — see TileGrid::memory_flips()).
+  fault::ComponentFlips component_flips{};
 
   util::RunningStat latency_ms;  ///< cumulative over completed requests
 
@@ -86,10 +93,11 @@ class TenantBook {
   void record_rejected(std::string_view tenant);
   void record_expired(std::string_view tenant);
   void record_failed(std::string_view tenant);
-  /// One computed request: latency sample, screen verdict, completion time
+  /// One computed request: latency sample, screen verdict, per-component
+  /// memory-fault tallies (BatchVerdict::component_flips), completion time
   /// (feeds the req/s window; pass the engine clock's now()).
   void record_completed(std::string_view tenant, double latency_ms, detect::Verdict verdict,
-                        util::TimePoint now);
+                        const fault::ComponentFlips& component_flips, util::TimePoint now);
 
   /// Snapshot one tenant. Throws std::invalid_argument for a tenant that has
   /// never been recorded — a typo'd dashboard key should fail loudly.
@@ -110,6 +118,7 @@ class TenantBook {
     std::uint64_t requests_patched = 0;
     std::uint64_t requests_recomputed = 0;
     std::uint64_t requests_detected = 0;
+    fault::ComponentFlips component_flips{};
     util::RunningStat latency_ms;
     util::SlidingWindow latency_window;
     std::deque<util::TimePoint> completed_at;  ///< bounded by the window span

@@ -4,6 +4,7 @@
 #include <cstring>
 #include <stdexcept>
 
+#include "fault/memory.h"
 #include "tensor/gemm.h"
 
 namespace realm::serve {
@@ -33,6 +34,7 @@ void BatchVerdict::reset() noexcept {
   fault_cols.clear();
   fault_rows.clear();
   injection = {};
+  component_flips = {};
 }
 
 void BatchVerdict::merge_tile(const detect::DetectionVerdict& v, std::size_t col_origin) {
@@ -50,6 +52,9 @@ void BatchVerdict::merge_tile(const detect::DetectionVerdict& v, std::size_t col
   fault_rows.insert(fault_rows.end(), v.fault_rows.begin(), v.fault_rows.end());
   injection.flipped_bits += v.injection.flipped_bits;
   injection.corrupted_values += v.injection.corrupted_values;
+  for (std::size_t i = 0; i < fault::kComponentCount; ++i) {
+    component_flips[i] += v.component_flips[i];
+  }
 }
 
 void BatchVerdict::finalize() {
@@ -114,6 +119,51 @@ bool TileGrid::swap_tile(std::size_t t, tensor::MatI8 slice, tensor::QuantParams
   return true;
 }
 
+bool TileGrid::swap_tile(std::size_t t, tensor::MatI8 slice, tensor::QuantParams qw,
+                         const fault::MemoryFaultModel& memory, std::uint64_t op) {
+  if (t >= widths_.size()) throw std::invalid_argument("TileGrid: swap_tile index out of range");
+  if (slice.rows() != rows_ || slice.cols() != widths_[t]) {
+    throw std::invalid_argument("TileGrid: swap_tile slice shape must match the tile");
+  }
+  auto candidate = std::make_shared<detect::ProtectedGemm>(cfg_.detect);
+  candidate->set_weights_quantized(std::move(slice), qw);
+  // The load-time strike window: kWeights faults land on the candidate AFTER
+  // its bases were captured (the bases model the known-good producer-side
+  // checksums riding with the shard) and BEFORE the scrub vouches it. A net
+  // fault therefore disagrees with the bases and the scrub rejects the load.
+  const std::uint64_t flips =
+      candidate->corrupt_weights(memory, fault::compose_op(op, t));
+  const bool ok = candidate->verify_weight_integrity();
+  const std::lock_guard<std::mutex> lock(swap_mu_);
+  memory_flips_[static_cast<std::size_t>(fault::Component::kWeights)] += flips;
+  if (!ok) return false;
+  tiles_[t] = std::move(candidate);
+  ++swap_epoch_;
+  return true;
+}
+
+std::uint64_t TileGrid::age_panels(const fault::MemoryFaultModel& memory, std::uint64_t epoch) {
+  std::uint64_t total = 0;
+  for (std::size_t t = 0; t < widths_.size(); ++t) {
+    // Clone the current tile so in-flight readers of the old snapshot are
+    // untouched, corrupt the clone's panels in place (it is exclusively
+    // owned until installed), then publish. No scrub: at-rest corruption is
+    // exactly what the scrub/screen must catch on the NEXT touch.
+    auto aged = std::make_shared<detect::ProtectedGemm>(*tile(t));
+    total += aged->corrupt_panels(memory, fault::compose_op(epoch, t));
+    const std::lock_guard<std::mutex> lock(swap_mu_);
+    tiles_[t] = std::move(aged);
+  }
+  const std::lock_guard<std::mutex> lock(swap_mu_);
+  memory_flips_[static_cast<std::size_t>(fault::Component::kPackedPanels)] += total;
+  return total;
+}
+
+fault::ComponentFlips TileGrid::memory_flips() const {
+  const std::lock_guard<std::mutex> lock(swap_mu_);
+  return memory_flips_;
+}
+
 std::size_t TileGrid::swap_weights(const tensor::MatI8& w8, tensor::QuantParams qw) {
   if (w8.rows() != rows_ || w8.cols() != cols_) {
     throw std::invalid_argument("TileGrid: swap_weights shape must match the grid");
@@ -138,25 +188,28 @@ std::uint64_t TileGrid::swap_epoch() const {
 void TileGrid::run_into(const tensor::MatI8& a8, tensor::QuantParams qa,
                         const fault::FaultInjector& injector, const util::Rng& rng,
                         std::vector<detect::ProtectedGemmResult>& scratch, tensor::MatF& out,
-                        BatchVerdict& verdict) const {
+                        BatchVerdict& verdict, const fault::MemoryFaultModel* memory,
+                        std::uint64_t op) const {
   const fault::FaultInjector* const one = &injector;
-  run_tiles(a8, qa, &one, 0, rng, scratch, out, verdict);
+  run_tiles(a8, qa, &one, 0, rng, scratch, out, verdict, memory, op);
 }
 
 void TileGrid::run_into(const tensor::MatI8& a8, tensor::QuantParams qa,
                         std::span<const fault::FaultInjector* const> tile_injectors,
                         const util::Rng& rng, std::vector<detect::ProtectedGemmResult>& scratch,
-                        tensor::MatF& out, BatchVerdict& verdict) const {
+                        tensor::MatF& out, BatchVerdict& verdict,
+                        const fault::MemoryFaultModel* memory, std::uint64_t op) const {
   if (tile_injectors.size() != tiles_.size()) {
     throw std::invalid_argument("TileGrid: need one injector per tile");
   }
-  run_tiles(a8, qa, tile_injectors.data(), 1, rng, scratch, out, verdict);
+  run_tiles(a8, qa, tile_injectors.data(), 1, rng, scratch, out, verdict, memory, op);
 }
 
 void TileGrid::run_tiles(const tensor::MatI8& a8, tensor::QuantParams qa,
                          const fault::FaultInjector* const* injectors, std::size_t stride,
                          const util::Rng& rng, std::vector<detect::ProtectedGemmResult>& scratch,
-                         tensor::MatF& out, BatchVerdict& verdict) const {
+                         tensor::MatF& out, BatchVerdict& verdict,
+                         const fault::MemoryFaultModel* memory, std::uint64_t op) const {
   const std::size_t m = a8.rows();
   scratch.resize(tiles_.size());
   if (out.rows() != m || out.cols() != cols_) out = tensor::MatF(m, cols_);
@@ -170,7 +223,11 @@ void TileGrid::run_tiles(const tensor::MatI8& a8, tensor::QuantParams qa,
     // on which worker ran the tile or in what order — the determinism the
     // 1/2/8-thread tests pin down.
     util::Rng tile_rng = rng.fork(t);
-    tile->run_quantized_into(a8, qa, *injectors[t * stride], tile_rng, scratch[t]);
+    // Each tile DMAs its own copy of A, so the activation exposure is an
+    // independent stream per (op, tile) — compose_op keeps those streams
+    // replayable regardless of worker count or tile order.
+    tile->run_quantized_into(a8, qa, *injectors[t * stride], tile_rng, scratch[t], memory,
+                             fault::compose_op(op, t));
     verdict.merge_tile(scratch[t].report, origins_[t]);
     const std::size_t width = scratch[t].output.cols();
     for (std::size_t r = 0; r < m; ++r) {

@@ -59,6 +59,10 @@
 #include "tensor/tensor.h"
 #include "util/rng.h"
 
+namespace realm::fault {
+class MemoryFaultModel;  // fault/memory.h
+}
+
 namespace realm::serve {
 
 struct TileGridConfig {
@@ -99,6 +103,11 @@ struct BatchVerdict {
   std::vector<std::size_t> fault_cols;  ///< global column indices, ascending
   std::vector<std::size_t> fault_rows;  ///< union over tiles, ascending after finalize()
   fault::InjectionReport injection;     ///< summed over tiles
+  /// Per-component memory-fault bit-flip tallies, summed over tiles (the
+  /// request-time components: kAccumulator mirrors injection.flipped_bits,
+  /// kActivations counts pre-GEMM strikes; weight/panel faults happen at
+  /// load/rest, outside any request — see TileGrid::memory_flips()).
+  fault::ComponentFlips component_flips{};
 
   /// Clear to the all-clean state, keeping vector capacity (recycled buffers).
   void reset() noexcept;
@@ -150,6 +159,18 @@ class TileGrid {
   /// then no longer matches an unsharded single-scale run bit-for-bit.
   bool swap_tile(std::size_t t, tensor::MatI8 slice, tensor::QuantParams qw);
 
+  /// swap_tile under the memory-hierarchy fault model: the candidate's
+  /// weights take kWeights strikes from `memory` (stream op
+  /// compose_op(op, t), so rolling swaps reusing one `op` still expose each
+  /// tile independently) between build and scrub, modelling a corrupted DMA
+  /// of the new shard. The
+  /// existing scrub-on-swap then vouches the candidate exactly as for a
+  /// clean swap — a load whose net fault perturbs any row or column sum is
+  /// rejected (returns false, old tile keeps serving). Flips are tallied in
+  /// memory_flips()[kWeights] whether or not the candidate installs.
+  bool swap_tile(std::size_t t, tensor::MatI8 slice, tensor::QuantParams qw,
+                 const fault::MemoryFaultModel& memory, std::uint64_t op);
+
   /// Hot-swap the whole matrix tile by tile (the rolling-update loop):
   /// slices `w8` (must be rows() x cols()) along the existing tile
   /// boundaries and swap_tile()s each in ascending order. Returns the number
@@ -161,15 +182,40 @@ class TileGrid {
   /// Successful swap_tile installs so far (0 for a freshly built grid).
   [[nodiscard]] std::uint64_t swap_epoch() const;
 
+  /// One at-rest retention epoch over every tile's resident SIMD panels:
+  /// each tile's panels take kPackedPanels strikes from `memory` (stream
+  /// op compose_op(epoch, tile_index), so epochs and tiles are independent
+  /// replayable streams). Unlike swap_tile there is NO scrub here — at-rest
+  /// corruption is precisely the fault the eᵀW scrub and per-request screen
+  /// must catch later. Each faulted tile is rebuilt as a copy and installed
+  /// atomically (in-flight requests keep their clean snapshots); the
+  /// checksum BASES stay clean, so the corruption is detectable. Returns
+  /// total bits flipped (also tallied in memory_flips()[kPackedPanels]).
+  /// Vacuous (returns 0) on the portable tier, which holds no panels.
+  std::uint64_t age_panels(const fault::MemoryFaultModel& memory, std::uint64_t epoch);
+
+  /// Cumulative load/rest-time memory-fault tallies (kWeights from faulted
+  /// swap_tile loads, kPackedPanels from age_panels); request-time slots
+  /// stay zero — those live in BatchVerdict::component_flips.
+  [[nodiscard]] fault::ComponentFlips memory_flips() const;
+
   /// One request through every tile: per-tile protected GEMM (injector drawn
   /// against rng.fork(tile_index)) into recycled `scratch` (resized to
   /// tile_count() on first use), per-tile outputs assembled into `out`
   /// [m x n], verdicts merged into `verdict`. Steady-state zero-alloc when
   /// the caller recycles all three buffers across requests.
+  ///
+  /// Non-null `memory` puts the request under the memory-hierarchy fault
+  /// model: each tile consumes a kActivations stream at op
+  /// compose_op(op, tile_index) — every tile DMAs its own copy of A, an
+  /// independent exposure — and tallies land in verdict.component_flips.
+  /// Streams depend only on (memory seed, op, tile_index), never on thread
+  /// count or scheduling.
   void run_into(const tensor::MatI8& a8, tensor::QuantParams qa,
                 const fault::FaultInjector& injector, const util::Rng& rng,
                 std::vector<detect::ProtectedGemmResult>& scratch, tensor::MatF& out,
-                BatchVerdict& verdict) const;
+                BatchVerdict& verdict, const fault::MemoryFaultModel* memory = nullptr,
+                std::uint64_t op = 0) const;
 
   /// Per-tile injector variant (tests drive a fault into exactly one tile
   /// with NullInjector elsewhere). `tile_injectors` must have tile_count()
@@ -177,7 +223,8 @@ class TileGrid {
   void run_into(const tensor::MatI8& a8, tensor::QuantParams qa,
                 std::span<const fault::FaultInjector* const> tile_injectors, const util::Rng& rng,
                 std::vector<detect::ProtectedGemmResult>& scratch, tensor::MatF& out,
-                BatchVerdict& verdict) const;
+                BatchVerdict& verdict, const fault::MemoryFaultModel* memory = nullptr,
+                std::uint64_t op = 0) const;
 
   /// Unprotected baseline over the same tiles and resident panels: per-tile
   /// prepacked GEMM only — no screen, no dequantize. The raw side of the
@@ -197,7 +244,8 @@ class TileGrid {
   void run_tiles(const tensor::MatI8& a8, tensor::QuantParams qa,
                  const fault::FaultInjector* const* injectors, std::size_t stride,
                  const util::Rng& rng, std::vector<detect::ProtectedGemmResult>& scratch,
-                 tensor::MatF& out, BatchVerdict& verdict) const;
+                 tensor::MatF& out, BatchVerdict& verdict, const fault::MemoryFaultModel* memory,
+                 std::uint64_t op) const;
 
   TileGridConfig cfg_;
   std::size_t rows_ = 0;
@@ -207,7 +255,8 @@ class TileGrid {
   std::vector<std::size_t> origins_;
   std::vector<std::size_t> widths_;
   mutable std::mutex swap_mu_;
-  std::uint64_t swap_epoch_ = 0;  ///< guarded by swap_mu_
+  std::uint64_t swap_epoch_ = 0;             ///< guarded by swap_mu_
+  fault::ComponentFlips memory_flips_{};     ///< guarded by swap_mu_
 };
 
 }  // namespace realm::serve

@@ -44,6 +44,7 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <span>
 #include <vector>
 
 namespace realm::tensor::kernels {
@@ -97,6 +98,17 @@ class PackedB {
   [[nodiscard]] bool valid_for(Tier t, std::size_t k, std::size_t n) const noexcept {
     return !panels_.empty() && tier_ == t && k_ == k && n_ == n;
   }
+
+  /// Raw panel words, for the memory-hierarchy fault model (at-rest panel
+  /// corruption) and the repack-compare scrub. Empty on the portable tier,
+  /// which consumes B directly.
+  [[nodiscard]] std::span<const std::int16_t> raw_panels() const noexcept { return panels_; }
+
+  /// Mutable view for fault injection ONLY. Writing through this view on a
+  /// PackedB that concurrent GEMMs read violates the immutability contract
+  /// above — callers must hold an exclusively-owned copy (ProtectedGemm::
+  /// corrupt_panels mutates its own member before the tile is shared).
+  [[nodiscard]] std::span<std::int16_t> mutable_panels() noexcept { return panels_; }
 
  private:
   friend PackedB pack_b(const std::int8_t* b, std::size_t k, std::size_t n);

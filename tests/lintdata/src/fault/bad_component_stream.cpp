@@ -1,0 +1,18 @@
+// Fixture: derives a component's fault stream by additive seed arithmetic
+// inside a component_stream construction site. The stream now depends on the
+// numeric spacing of component/op tags, so two components can collide (or
+// shift when a new component is added) instead of staying independent forks
+// of one seed — realm-lint must flag this as rng-fork. The correct pattern is
+// util::Rng(seed).fork(component_tag).fork(op).
+#include <cstdint>
+
+#include "util/rng.h"
+
+namespace realm::fault {
+
+util::Rng component_stream(std::uint64_t seed, std::uint64_t component, std::uint64_t op) {
+  util::Rng rng(seed + component * 1024 + op);  // BAD: additive seed coupling
+  return rng;
+}
+
+}  // namespace realm::fault

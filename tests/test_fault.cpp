@@ -4,6 +4,7 @@
 #include <stdexcept>
 #include <vector>
 
+#include "fault/memory.h"
 #include "realm_test.h"
 #include "util/rng.h"
 
@@ -139,6 +140,152 @@ REALM_TEST(random_bitflip_respects_bit_range) {
   REALM_CHECK_THROWS(RandomBitFlipInjector(0.1, 5, 40), std::invalid_argument);
   REALM_CHECK_THROWS(SingleBitFlipInjector(0.1, 32), std::invalid_argument);
   REALM_CHECK_THROWS(MagFreqInjector(0, 3), std::invalid_argument);
+}
+
+REALM_TEST(memory_model_ber_zero_injects_nothing) {
+  MemoryFaultConfig cfg;  // every component BER defaults to 0
+  cfg.seed = 42;
+  const MemoryFaultModel model(cfg);
+  std::vector<std::int8_t> bytes(512, 3);
+  std::vector<FlipRecord> record{FlipRecord{}};
+  REALM_CHECK_EQ(model.corrupt(Component::kWeights, 0, bytes, &record), std::uint64_t{0});
+  REALM_CHECK(record.empty());  // cleared, not appended to, by a no-op pass
+  for (const auto v : bytes) REALM_CHECK_EQ(v, std::int8_t{3});
+  REALM_CHECK(!model.enabled(Component::kWeights));
+  std::vector<std::int16_t> words(64, -7);
+  REALM_CHECK_EQ(model.corrupt16(Component::kPackedPanels, 9, words), std::uint64_t{0});
+  for (const auto v : words) REALM_CHECK_EQ(v, std::int16_t{-7});
+
+  // Parameter validation mirrors the injectors'.
+  MemoryFaultConfig bad = cfg;
+  bad.activations.ber = 2.0;
+  REALM_CHECK_THROWS(MemoryFaultModel{bad}, std::invalid_argument);
+  bad = cfg;
+  bad.weights.bit_lo = 5;
+  bad.weights.bit_hi = 3;
+  REALM_CHECK_THROWS(MemoryFaultModel{bad}, std::invalid_argument);
+  bad = cfg;
+  bad.packed_panels.bit_hi = 8;
+  REALM_CHECK_THROWS(MemoryFaultModel{bad}, std::invalid_argument);
+  bad = cfg;
+  bad.weights.rest_epochs = 0;
+  REALM_CHECK_THROWS(MemoryFaultModel{bad}, std::invalid_argument);
+  REALM_CHECK_THROWS(cfg.params(Component::kAccumulator), std::invalid_argument);
+}
+
+REALM_TEST(memory_model_ber_one_flips_every_eligible_bit) {
+  MemoryFaultConfig cfg;
+  cfg.seed = 1;
+  cfg.weights.ber = 1.0;
+  cfg.weights.bit_lo = 2;
+  cfg.weights.bit_hi = 5;
+  cfg.packed_panels.ber = 1.0;  // full [0,7] lane window
+  const MemoryFaultModel model(cfg);
+
+  std::vector<std::int8_t> bytes(64);
+  for (std::size_t i = 0; i < bytes.size(); ++i) bytes[i] = static_cast<std::int8_t>(i * 7);
+  const std::vector<std::int8_t> orig = bytes;
+  REALM_CHECK_EQ(model.corrupt(Component::kWeights, 0, bytes), std::uint64_t{64 * 4});
+  for (std::size_t i = 0; i < bytes.size(); ++i) {
+    // BER saturation is deterministic: every bit in the window flips once.
+    REALM_CHECK_EQ(static_cast<std::uint8_t>(bytes[i]),
+                   static_cast<std::uint8_t>(static_cast<std::uint8_t>(orig[i]) ^ 0x3Cu));
+  }
+
+  // INT16 words: the lane window applies to BOTH bytes, so [0,7] at BER=1
+  // inverts the whole word.
+  std::vector<std::int16_t> words(32, 0x1234);
+  REALM_CHECK_EQ(model.corrupt16(Component::kPackedPanels, 3, words), std::uint64_t{32 * 16});
+  for (const auto v : words) {
+    REALM_CHECK_EQ(static_cast<std::uint16_t>(v), static_cast<std::uint16_t>(0x1234u ^ 0xFFFFu));
+  }
+
+  // Two retention epochs at BER=1: every bit re-upsets and cancels — the
+  // image comes back clean but the physical flip count records both epochs.
+  MemoryFaultConfig cfg2 = cfg;
+  cfg2.weights.rest_epochs = 2;
+  std::vector<std::int8_t> twice = orig;
+  REALM_CHECK_EQ(MemoryFaultModel(cfg2).corrupt(Component::kWeights, 0, twice),
+                 std::uint64_t{2 * 64 * 4});
+  REALM_CHECK(twice == orig);
+}
+
+REALM_TEST(component_flip_records_reverse_replay) {
+  MemoryFaultConfig cfg;
+  cfg.seed = 0xfeed;
+  cfg.activations.ber = 0.02;
+  cfg.packed_panels.ber = 0.01;
+  const MemoryFaultModel model(cfg);
+
+  Rng init(3);
+  std::vector<std::int8_t> bytes(2048);
+  for (auto& v : bytes) v = static_cast<std::int8_t>(init.uniform_int(-128, 127));
+  const std::vector<std::int8_t> orig = bytes;
+  std::vector<FlipRecord> record;
+  const std::uint64_t flips = model.corrupt(Component::kActivations, 11, bytes, &record);
+  REALM_CHECK(flips > 0);
+  REALM_CHECK_EQ(record.size(), flips);
+  for (const FlipRecord& f : record) {
+    REALM_CHECK(f.component == Component::kActivations);
+    REALM_CHECK(f.bit >= 0 && f.bit <= 7);
+  }
+  for (auto it = record.rbegin(); it != record.rend(); ++it) {
+    REALM_CHECK_EQ(bytes[it->index], static_cast<std::int8_t>(it->after));
+    bytes[it->index] = static_cast<std::int8_t>(it->before);
+  }
+  REALM_CHECK(bytes == orig);  // reverse replay reconstructs the clean image
+
+  std::vector<std::int16_t> words(1024);
+  for (auto& v : words) v = static_cast<std::int16_t>(init.uniform_int(-30000, 30000));
+  const std::vector<std::int16_t> worig = words;
+  const std::uint64_t wflips = model.corrupt16(Component::kPackedPanels, 4, words, &record);
+  REALM_CHECK(wflips > 0);
+  REALM_CHECK_EQ(record.size(), wflips);
+  for (const FlipRecord& f : record) REALM_CHECK(f.component == Component::kPackedPanels);
+  for (auto it = record.rbegin(); it != record.rend(); ++it) {
+    REALM_CHECK_EQ(words[it->index], static_cast<std::int16_t>(it->after));
+    words[it->index] = static_cast<std::int16_t>(it->before);
+  }
+  REALM_CHECK(words == worig);
+
+  // Recording must not consume extra randomness.
+  std::vector<std::int8_t> a = orig, b = orig;
+  model.corrupt(Component::kActivations, 11, a, &record);
+  model.corrupt(Component::kActivations, 11, b);
+  REALM_CHECK(a == b);
+}
+
+REALM_TEST(component_streams_independent_and_replayable) {
+  // The replay contract: a component's draws are a pure function of
+  // (seed, component, op) — enabling OTHER components must not shift them.
+  MemoryFaultConfig only_w;
+  only_w.seed = 77;
+  only_w.weights.ber = 0.05;
+  MemoryFaultConfig all = only_w;
+  all.activations.ber = 0.2;
+  all.packed_panels.ber = 0.1;
+
+  std::vector<std::int8_t> a(1024, 1), b(1024, 1);
+  (void)MemoryFaultModel(only_w).corrupt(Component::kWeights, 5, a);
+  (void)MemoryFaultModel(all).corrupt(Component::kWeights, 5, b);
+  REALM_CHECK(a == b);
+
+  // Distinct ops draw distinct patterns (counter-based, no shared state).
+  std::vector<std::int8_t> c(1024, 1);
+  (void)MemoryFaultModel(all).corrupt(Component::kWeights, 6, c);
+  REALM_CHECK(!(a == c));
+
+  // Components with identical parameters still fork disjoint streams.
+  MemoryFaultConfig wact = only_w;
+  wact.activations.ber = 0.05;
+  std::vector<std::int8_t> d(1024, 1);
+  (void)MemoryFaultModel(wact).corrupt(Component::kActivations, 5, d);
+  REALM_CHECK(!(a == d));
+
+  // compose_op is order-sensitive and avalanche-mixed: composite stream
+  // coordinates like (request, tile) and (tile, request) stay distinct.
+  REALM_CHECK(compose_op(1, 2) != compose_op(2, 1));
+  REALM_CHECK(compose_op(0, 0) != compose_op(0, 1));
 }
 
 REALM_TEST_MAIN()

@@ -7,9 +7,13 @@
 // Exits nonzero if a wrap-overflow sweep produces a non-monotone coverage
 // curve (detected at width w must never exceed detected at width w' > w —
 // guaranteed by the nesting argument in sa/datapath.h, so a violation means
-// the model itself regressed), or if the single-fault patch rate at the
+// the model itself regressed), if the single-fault patch rate at the
 // full-width datapath falls below 100% (exact deviations always solve a lone
-// corrupted element — see detect/correct.h). CI runs `--smoke` on every push.
+// corrupted element — see detect/correct.h), or if the load/rest scrub
+// missed a net weight/panel-image fault at the int64 reference width (the
+// exact scrub is the serving path's guarantee against stationary-operand
+// corruption — a miss there means the scrub model regressed). CI runs
+// `--smoke` (and `--smoke --component weights,activations`) on every push.
 #include <algorithm>
 #include <cstdint>
 #include <cstdlib>
@@ -18,6 +22,7 @@
 #include <string>
 #include <vector>
 
+#include "fault/fault.h"
 #include "sa/roc.h"
 #include "util/stats.h"
 #include "util/table.h"
@@ -30,6 +35,7 @@ int usage() {
       << "usage: coverage_sweep [--smoke] [--csv FILE] [--json FILE] [--threads N]\n"
          "                      [--trials N] [--seed S] [--widths W1,W2,...]\n"
          "                      [--overflow wrap|saturate] [--msd-only]\n"
+         "                      [--component C1,C2,...]\n"
          "  --smoke      tiny fixed grid (one shape, 3x2 cells, 3 widths) for CI\n"
          "  --csv FILE   long-format per-cell record (one row per cell per datapath)\n"
          "  --json FILE  machine-readable record of the same cells\n"
@@ -40,7 +46,11 @@ int usage() {
          "  --widths     checksum register widths to screen at (default 16,24,32,64)\n"
          "  --overflow   register overflow semantics (default wrap; wrap sweeps also\n"
          "               assert the monotone coverage curve)\n"
-         "  --msd-only   one-sided screen (MSD threshold only, no row/column check)\n";
+         "  --msd-only   one-sided screen (MSD threshold only, no row/column check)\n"
+         "  --component  memory-hierarchy components to attack, from weights, panels,\n"
+         "               activations, accumulator (default accumulator). Each adds a\n"
+         "               full grid; weight/panel cells also tally the load/rest scrub,\n"
+         "               whose reference-width misses gate the exit code\n";
   return 2;
 }
 
@@ -68,6 +78,7 @@ int main(int argc, char** argv) {
   std::vector<int> widths;
   realm::sa::Overflow overflow = realm::sa::Overflow::kWrap;
   bool msd_only = false;
+  std::vector<realm::fault::Component> components;
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -99,6 +110,22 @@ int main(int argc, char** argv) {
       }
     } else if (arg == "--msd-only") {
       msd_only = true;
+    } else if (arg == "--component" && i + 1 < argc) {
+      const std::string list = argv[++i];
+      std::size_t pos = 0;
+      while (pos <= list.size()) {
+        const std::size_t comma = list.find(',', pos);
+        const std::string tok =
+            list.substr(pos, comma == std::string::npos ? comma : comma - pos);
+        if (!tok.empty()) {
+          realm::fault::Component comp;
+          if (!realm::fault::parse_component(tok, comp)) return usage();
+          components.push_back(comp);
+        }
+        if (comma == std::string::npos) break;
+        pos = comma + 1;
+      }
+      if (components.empty()) return usage();
     } else {
       return usage();
     }
@@ -123,6 +150,7 @@ int main(int argc, char** argv) {
   if (trials != 0) cfg.trials = trials;
   if (seed != 0) cfg.seed = seed;
   if (!widths.empty()) cfg.widths = widths;
+  if (!components.empty()) cfg.components = components;
   cfg.overflow = overflow;
   cfg.two_sided = !msd_only;
 
@@ -134,13 +162,16 @@ int main(int argc, char** argv) {
     return 2;
   }
 
-  // Per-shape critical-region maps: narrowest width first, reference last,
-  // so the coverage the narrow datapath loses reads top to bottom.
+  // Per-shape, per-component critical-region maps: narrowest width first,
+  // reference last, so the coverage the narrow datapath loses reads top to
+  // bottom.
   for (std::size_t s = 0; s < cfg.shapes.size(); ++s) {
-    for (const int w : cfg.widths) {
-      realm::sa::critical_region_table(result, s, w).print(std::cout);
+    for (std::size_t q = 0; q < cfg.components.size(); ++q) {
+      for (const int w : cfg.widths) {
+        realm::sa::critical_region_table(result, s, q, w).print(std::cout);
+      }
+      realm::sa::critical_region_table(result, s, q, -1).print(std::cout);
     }
-    realm::sa::critical_region_table(result, s, -1).print(std::cout);
   }
 
   // Coverage-vs-width summary, with per-cell detection-rate spread (the
@@ -177,6 +208,42 @@ int main(int argc, char** argv) {
   for (const realm::sa::WidthTally& t : sum.widths) summary_row(t, false);
   summary_row(sum.reference, true);
   summary.print(std::cout);
+
+  // Per-component detection-rate tables: the same coverage-vs-width cut,
+  // restricted to one component's cells, plus the load/rest scrub tallies
+  // (nonzero only for the at-rest components).
+  for (std::size_t q = 0; q < cfg.components.size(); ++q) {
+    const realm::fault::Component comp = cfg.components[q];
+    realm::util::TablePrinter per_comp(std::string("coverage by width — component ") +
+                                       realm::fault::to_string(comp));
+    per_comp.header({"width", "faulty", "detected", "missed", "coverage", "scrub_caught",
+                     "scrub_missed"});
+    const auto comp_row = [&](int bits, bool reference) {
+      realm::sa::WidthTally t;
+      std::size_t faulty = 0;
+      for (const realm::sa::CellResult& cell : result.cells) {
+        if (cell.component != comp) continue;
+        faulty += cell.faulty_trials;
+        const realm::sa::WidthTally* ct = &cell.reference;
+        if (!reference) {
+          std::size_t w = 0;
+          while (cell.widths[w].bits != bits) ++w;
+          ct = &cell.widths[w];
+        }
+        t.detected += ct->detected;
+        t.missed += ct->missed;
+        t.scrub_caught += ct->scrub_caught;
+        t.scrub_missed += ct->scrub_missed;
+      }
+      per_comp.row({reference ? "int64 ref" : std::to_string(bits), std::to_string(faulty),
+                    std::to_string(t.detected), std::to_string(t.missed),
+                    realm::util::TablePrinter::pct(t.detection_rate(faulty), 1),
+                    std::to_string(t.scrub_caught), std::to_string(t.scrub_missed)});
+    };
+    for (const int w : cfg.widths) comp_row(w, false);
+    comp_row(0, true);
+    per_comp.print(std::cout);
+  }
 
   if (!csv_path.empty()) {
     std::ofstream os(csv_path);
@@ -231,6 +298,16 @@ int main(int argc, char** argv) {
                 << " != 100%\n";
       return 1;
     }
+  }
+  // The load/rest scrub gate (any overflow mode): at the int64 reference
+  // width the weight scrub recomputes exact row+col checksums and the panel
+  // scrub is a byte-exact repack-compare, so a net weight/panel-image fault
+  // the reference scrub missed means the scrub model or the stream plumbing
+  // regressed.
+  if (sum.reference.scrub_missed != 0) {
+    std::cerr << "coverage_sweep: reference-width scrub MISSED " << sum.reference.scrub_missed
+              << " net component-image fault(s)\n";
+    return 1;
   }
   return 0;
 }

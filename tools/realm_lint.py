@@ -4,15 +4,21 @@
 clang-tidy knows C++; it does not know this repo's contracts. realm-lint
 enforces the invariants the test suite can only sample:
 
-  rng-fork        Rng objects constructed inside a parallel_for body or a
-                  worker_loop function body must be derived with .fork(...)
-                  from a stream owned outside the body. A raw seed constructed
-                  per-chunk (or per-worker) silently couples the random stream
-                  to the chunking / claim order (and therefore to the thread
-                  count), breaking the bit-exactness contract. `worker_loop`
-                  is the serving engine's convention for persistent
-                  work-claiming loops — any method with that name is held to
-                  the forked-stream rule.
+  rng-fork        Rng objects constructed inside a parallel_for body, a
+                  worker_loop function body, or a component-stream
+                  construction site (any function named component_stream or
+                  corrupt*) must be derived with .fork(...) — or obtained via
+                  fault::component_stream(...), which forks internally — from
+                  a stream owned outside the body. A raw seed constructed
+                  per-chunk (or per-worker, or per-component via seed
+                  arithmetic) silently couples the random stream to the
+                  chunking / claim order / component mix, breaking the
+                  bit-exactness contract. `worker_loop` is the serving
+                  engine's convention for persistent work-claiming loops, and
+                  `component_stream`/`corrupt*` is the memory-hierarchy fault
+                  model's convention for per-component stream derivation —
+                  any function with those names is held to the forked-stream
+                  rule.
   sat-math        Deviation/accumulation statements on 64-bit sums in
                   src/detect and src/sa must go through the util/bitmath
                   helpers (sat_add/sat_sub/wrap_to_bits/clamp_to_bits).
@@ -176,6 +182,11 @@ def lambda_body_spans(code, call_re):
 
 PARALLEL_FOR_RE = re.compile(r"\bparallel_for\s*\(")
 WORKER_LOOP_RE = re.compile(r"\bworker_loop\s*\(")
+# Component-stream construction sites: the memory-hierarchy fault model's
+# stream-derivation helpers (fault/memory.*) and any corrupt* routine that
+# draws flips for a component. Additive seed mixing here would couple one
+# component's stream to another's parameters.
+COMPONENT_STREAM_RE = re.compile(r"\b(?:component_stream|corrupt\w*)\s*\(")
 RNG_DECL_RE = re.compile(r"\b(?:util::)?Rng\s+(\w+)\s*[({=]")
 RNG_TEMP_RE = re.compile(r"(?<![\w:.])(?:util::)?Rng\s*\(")
 
@@ -224,12 +235,15 @@ def check_rng_fork(path, code, raw_lines, findings):
     scopes += [(span, "a worker_loop body",
                 "per-worker seeds tie results to the claim order and worker count")
                for span in function_body_spans(code, WORKER_LOOP_RE)]
+    scopes += [(span, "a component-stream construction site",
+                "additive seed mixing couples one component's stream to the others")
+               for span in function_body_spans(code, COMPONENT_STREAM_RE)]
     for (start, end), where, why in scopes:
         body = code[start:end]
         for m in RNG_DECL_RE.finditer(body):
             stmt_end = body.find(";", m.start())
             stmt = body[m.start():stmt_end if stmt_end >= 0 else len(body)]
-            if ".fork(" in stmt:
+            if ".fork(" in stmt or "component_stream(" in stmt:
                 continue
             lineno = code.count("\n", 0, start + m.start()) + 1
             allowed, bad = allows_for_line(raw_lines, lineno)

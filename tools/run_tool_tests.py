@@ -104,6 +104,7 @@ def main():
     lint_cases = [
         ("src/sa/bad_unforked_rng.cpp", "rng-fork"),
         ("src/serve/bad_worker_rng.cpp", "rng-fork"),
+        ("src/fault/bad_component_stream.cpp", "rng-fork"),
         ("src/detect/bad_raw_deviation.cpp", "sat-math"),
         ("src/tensor/bad_missing_pragma.cpp", "avx512-pragma"),
         ("src/serve/bad_mt19937.cpp", "rng-source"),
