@@ -29,8 +29,22 @@ recompute-class latency; the patch-rate floor catches the corrector losing
 single-fault solves (every injected fault in the bench phase is a lone
 magnitude hit, so the rate should sit at 1.0 with generous headroom).
 
+With --trace-overhead the positionals are reinterpreted as a TRACED.json /
+UNTRACED.json pair from two otherwise-identical --serve-async runs, and the
+gate becomes the tracing-overhead budget: traced req/s must stay at or above
+--min-traced-ratio (default 0.95) of the untraced run. The records' "trace"
+provenance flags are checked (traced must say true, untraced false) so a CI
+wiring mistake — comparing a run against itself — trips instead of passing
+vacuously.
+
+Unknown top-level keys in either record are ignored: bench JSON grows
+provenance fields (git_sha, realm_trace_compiled, ...) without breaking older
+baselines.
+
 usage: compare_baseline.py CURRENT.json BASELINE.json [--tolerance 0.20]
                            [--slack-ms 0.15] [--slack-pct 10]
+       compare_baseline.py --trace-overhead TRACED.json UNTRACED.json
+                           [--min-traced-ratio 0.95]
 """
 
 import argparse
@@ -80,6 +94,27 @@ def serve_fault_gate(current, baseline, args):
     print("serve fault-load gate passed")
 
 
+def trace_overhead_gate(traced, untraced, args):
+    """Tracing-overhead budget: traced rps >= min ratio of the untraced run."""
+    for record, name, want in ((traced, "traced", True), (untraced, "untraced", False)):
+        if record.get("mode") != "serve-async":
+            sys.exit(f"--trace-overhead needs serve-async records, "
+                     f"{name} run has mode={record.get('mode')!r}")
+        if bool(record.get("trace")) != want:
+            sys.exit(f"{name} run records trace={record.get('trace')!r}, expected "
+                     f"{want} — traced/untraced inputs swapped or mis-wired?")
+
+    ratio = traced["rps"] / untraced["rps"]
+    ok = ratio >= args.min_traced_ratio
+    print(f"{'metric':>22} {'untraced':>9} {'traced':>9} {'ratio':>9} {'floor':>9}  status")
+    print(f"{'rps':>22} {untraced['rps']:>9.2f} {traced['rps']:>9.2f} {ratio:>9.3f} "
+          f"{args.min_traced_ratio:>9.3f}  {'ok' if ok else 'REGRESSION'}")
+    if not ok:
+        sys.exit(f"tracing overhead over budget: traced/untraced rps ratio "
+                 f"{ratio:.3f} < {args.min_traced_ratio}")
+    print("tracing-overhead gate passed")
+
+
 def main():
     ap = argparse.ArgumentParser()
     ap.add_argument("current")
@@ -102,10 +137,25 @@ def main():
         default=10.0,
         help="absolute overhead percentage-point headroom (default 10)",
     )
+    ap.add_argument(
+        "--trace-overhead",
+        action="store_true",
+        help="positionals are TRACED.json UNTRACED.json; gate the req/s ratio",
+    )
+    ap.add_argument(
+        "--min-traced-ratio",
+        type=float,
+        default=0.95,
+        help="traced/untraced rps floor for --trace-overhead (default 0.95)",
+    )
     args = ap.parse_args()
 
     current = load(args.current)
     baseline = load(args.baseline)
+
+    if args.trace_overhead:
+        trace_overhead_gate(current, baseline, args)
+        return
 
     if current.get("mode") == "serve-async":
         serve_fault_gate(current, baseline, args)

@@ -10,7 +10,6 @@
 // bench/baseline.json.
 #include <algorithm>
 #include <array>
-#include <chrono>
 #include <cstdint>
 #include <cstdio>
 #include <cstdlib>
@@ -22,6 +21,8 @@
 #include "detect/detect.h"
 #include "fault/fault.h"
 #include "fault/memory.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "sa/datapath.h"
 #include "serve/engine.h"
 #include "serve/tile_grid.h"
@@ -30,17 +31,34 @@
 #include "tensor/gemm_kernels.h"
 #include "tensor/quant.h"
 #include "tensor/tensor.h"
+#include "util/clock.h"
 #include "util/rng.h"
 #include "util/stats.h"
 #include "util/table.h"
 #include "util/threadpool.h"
 
+// The bench target compiles with REALM_GIT_SHA from CMake; keep a fallback so
+// a bare `g++ bench/...` still builds.
+#ifndef REALM_GIT_SHA
+#define REALM_GIT_SHA "unknown"
+#endif
+
 namespace {
 
-using Clock = std::chrono::steady_clock;
+// All wall-clock reads go through util::now_ns() — src/util/clock.h is the
+// repo's only raw-clock home (realm-lint's clock-source rule enforces this).
+double seconds_since(std::int64_t t0_ns) { return realm::util::seconds_since_ns(t0_ns); }
 
-double seconds_since(Clock::time_point t0) {
-  return std::chrono::duration<double>(Clock::now() - t0).count();
+/// Provenance block shared by every JSON writer: ties an archived record to
+/// the commit and tracing state that produced it. compare_baseline.py
+/// tolerates unknown keys, so these are purely additive. `trace` is the
+/// runtime flag (only --serve-async can turn it on); realm_trace_compiled
+/// records whether the tracer was compiled into hot paths at all.
+void write_provenance(std::ostream& os, bool trace) {
+  os << "  \"git_sha\": \"" << REALM_GIT_SHA << "\",\n";
+  os << "  \"realm_trace_compiled\": " << (realm::obs::kTraceCompiledIn ? "true" : "false")
+     << ",\n";
+  os << "  \"trace\": " << (trace ? "true" : "false") << ",\n";
 }
 
 realm::tensor::MatI8 random_i8(std::size_t rows, std::size_t cols, realm::util::Rng& rng) {
@@ -67,7 +85,8 @@ struct ShapeResult {
 
 int usage() {
   std::cerr << "usage: protected_gemm_bench [--csv] [--threads N] [--repeat N] [--json FILE]"
-               " [--smoke] [--serve] [--serve-async [--fault-model]] [--sa]\n"
+               " [--smoke] [--serve] [--serve-async [--fault-model] [--trace [FILE]]"
+               " [--metrics [FILE]]] [--sa]\n"
             << "  --csv        emit CSV instead of a box-drawn table\n"
             << "  --threads N  total GEMM threads (default 1; sets the global pool).\n"
             << "               With --serve/--serve-async: engine workers instead\n"
@@ -91,6 +110,13 @@ int usage() {
             << "               activations through the memory-hierarchy fault model\n"
             << "               (fault::MemoryFaultModel); the JSON record reports the\n"
             << "               per-component flip tallies\n"
+            << "  --trace [FILE]  (with --serve-async) record per-request span\n"
+            << "               timelines on the measured engine and export Chrome\n"
+            << "               trace-event JSON (default trace.json; open in Perfetto\n"
+            << "               or chrome://tracing)\n"
+            << "  --metrics [FILE]  (with --serve-async) dump the Prometheus text\n"
+            << "               exposition of the engine/grid metrics after the\n"
+            << "               measured phase (default metrics.prom)\n"
             << "  --sa         reduced-width datapath mode: time the realm::sa screen\n"
             << "               at several register widths/overflow semantics against\n"
             << "               the exact int64 reductions (wrap rides SIMD, saturate\n"
@@ -142,7 +168,7 @@ int sa_main(bool csv, bool smoke, long threads, int repeat, const std::string& j
     const bool ref_flagged =
         realm::sa::screen(truth, faulted, {64, realm::sa::Overflow::kWrap, 0, true}).flagged;
     std::vector<std::int64_t> cols_out(n), rows_out(m);
-    auto t0 = Clock::now();
+    auto t0 = realm::util::now_ns();
     for (int r = 0; r < reps; ++r) {
       realm::tensor::kernels::col_sums_i32(faulted.data(), m, n, cols_out.data());
       realm::tensor::kernels::row_sums_i32(faulted.data(), m, n, rows_out.data());
@@ -155,7 +181,7 @@ int sa_main(bool csv, bool smoke, long threads, int repeat, const std::string& j
                           {16, realm::sa::Overflow::kSaturate, 0, true}}) {
     realm::sa::ScreenScratch scratch;
     realm::sa::ScreenResult res = realm::sa::screen_into(truth, faulted, cfg, scratch);
-    const auto t0 = Clock::now();
+    const auto t0 = realm::util::now_ns();
     for (int r = 0; r < reps; ++r) res = realm::sa::screen_into(truth, faulted, cfg, scratch);
     rows.push_back({realm::sa::to_string(cfg.overflow), cfg.bits,
                     seconds_since(t0) / reps * 1e3, res.flagged});
@@ -176,8 +202,12 @@ int sa_main(bool csv, bool smoke, long threads, int repeat, const std::string& j
       std::cerr << "protected_gemm_bench: cannot write " << json_path << "\n";
       return 1;
     }
-    os << "{\n  \"schema_version\": 1,\n  \"mode\": \"sa\",\n  \"m\": " << m
-       << ", \"n\": " << n << ",\n  \"threads\": " << threads << ",\n  \"datapaths\": [\n";
+    os << "{\n  \"schema_version\": 1,\n  \"mode\": \"sa\",\n";
+    write_provenance(os, false);
+    os << "  \"kernel_tier\": \""
+       << realm::tensor::kernels::to_string(realm::tensor::kernels::active_tier())
+       << "\",\n  \"m\": " << m << ", \"n\": " << n << ",\n  \"threads\": " << threads
+       << ",\n  \"datapaths\": [\n";
     for (std::size_t i = 0; i < rows.size(); ++i) {
       char buf[160];
       std::snprintf(buf, sizeof(buf),
@@ -200,6 +230,7 @@ void write_json(const std::string& path, const std::vector<ShapeResult>& results
   }
   os << "{\n";
   os << "  \"schema_version\": 1,\n";
+  write_provenance(os, false);
   os << "  \"kernel_tier\": \"" << realm::tensor::kernels::to_string(
             realm::tensor::kernels::active_tier())
      << "\",\n";
@@ -271,10 +302,10 @@ int serve_main(bool csv, bool smoke, long threads, int repeat, const std::string
   std::vector<double> raw_t(pairs), detect_d(pairs);
   for (int p = 0; p < pairs; ++p) {
     const auto& a8 = acts[static_cast<std::size_t>(p) % nreq];
-    auto t0 = Clock::now();
+    auto t0 = realm::util::now_ns();
     grid.run_raw_into(a8, raw_scratch);
     raw_t[p] = seconds_since(t0);
-    t0 = Clock::now();
+    t0 = realm::util::now_ns();
     grid.run_into(a8, qa, none, rng, prot_scratch, out, bv);
     detect_d[p] = seconds_since(t0) - raw_t[p];
   }
@@ -300,7 +331,7 @@ int serve_main(bool csv, bool smoke, long threads, int repeat, const std::string
   // whole run exactly, independent of the engine's sliding-window span.
   std::vector<double> all_lat;
   all_lat.reserve(static_cast<std::size_t>(batches) * nreq);
-  const auto t0 = Clock::now();
+  const auto t0 = realm::util::now_ns();
   for (int b = 0; b < batches; ++b) {
     engine.serve(reqs, responses);
     for (const auto& r : responses) all_lat.push_back(r.latency_ms);
@@ -335,11 +366,10 @@ int serve_main(bool csv, bool smoke, long threads, int repeat, const std::string
       std::cerr << "protected_gemm_bench: cannot write " << json_path << "\n";
       return 1;
     }
+    os << "{\n  \"schema_version\": 1,\n  \"mode\": \"serve\",\n";
+    write_provenance(os, false);
     char buf[1024];
     std::snprintf(buf, sizeof(buf),
-                  "{\n"
-                  "  \"schema_version\": 1,\n"
-                  "  \"mode\": \"serve\",\n"
                   "  \"kernel_tier\": \"%s\",\n"
                   "  \"workers\": %zu,\n"
                   "  \"tile_cols\": %zu,\n"
@@ -385,17 +415,30 @@ int serve_main(bool csv, bool smoke, long threads, int repeat, const std::string
 /// through the memory-hierarchy fault model (fault::MemoryFaultModel), and the
 /// JSON record carries the per-component flip tallies.
 int serve_async_main(bool csv, bool smoke, long threads, int repeat, const std::string& json_path,
-                     bool fault_model) {
+                     bool fault_model, const std::string& trace_path,
+                     const std::string& metrics_path) {
   namespace rt = realm::tensor;
   realm::util::Rng rng(0x5e7a);
   // Request-level parallelism only; each worker's GEMMs run inline.
   realm::util::set_global_threads(1);
+
+  // Observability: one lane per engine worker, ring deep enough that the
+  // measured phase never wraps (the fault-phase engines below run untraced so
+  // the exported timeline is exactly the sustained-traffic phase).
+  const bool trace = !trace_path.empty();
+  realm::obs::TracerConfig tcfg;
+  tcfg.lanes = static_cast<std::size_t>(threads);
+  tcfg.capacity = std::size_t{1} << 15;
+  realm::obs::Tracer tracer(tcfg);
+  realm::obs::MetricsRegistry registry;
 
   const std::size_t m = smoke ? 16 : 64;  // decode-like request height
   const std::size_t k = smoke ? 128 : 1024;
   const std::size_t n = smoke ? 256 : 2048;
   realm::serve::TileGridConfig gcfg;
   gcfg.tile_cols = smoke ? 64 : 256;
+  if (trace) gcfg.tracer = &tracer;
+  gcfg.metrics = &registry;
   const rt::QuantParams qw{0.02f};
   realm::serve::TileGrid grid(random_i8(k, n, rng), qw, gcfg);  // mutable: hot swap below
   const rt::QuantParams qa{0.05f};
@@ -423,17 +466,22 @@ int serve_async_main(bool csv, bool smoke, long threads, int repeat, const std::
   scfg.workers = static_cast<std::size_t>(threads);
   scfg.queue_capacity = 16;
   scfg.seed = 0xba7c4;
+  if (trace) scfg.tracer = &tracer;
+  scfg.metrics = &registry;
   realm::serve::ServeEngine engine(grid, scfg);
 
   // Warm-up under a dedicated tenant so the measured tenants' books stay
-  // clean (TenantBook is append-only by design).
+  // clean (TenantBook is append-only by design). Tracing starts after it so
+  // the exported spans and metrics cover the measured phase only.
   {
+    tracer.set_enabled(false);
     realm::serve::SubmitOptions wopt;
     wopt.tenant = "warmup";
     for (std::size_t i = 0; i < acts.size(); ++i) {
       engine.wait(engine.submit(realm::serve::Request::borrow(acts[i], qa), wopt));
     }
     engine.reset_stats();
+    tracer.set_enabled(trace);
   }
 
   const std::size_t total = static_cast<std::size_t>(repeat > 0 ? repeat : (smoke ? 1 : 5)) *
@@ -455,7 +503,7 @@ int serve_async_main(bool csv, bool smoke, long threads, int repeat, const std::
     tickets.push_back(engine.submit(std::move(rq), opt));
   };
 
-  const auto t0 = Clock::now();
+  const auto t0 = realm::util::now_ns();
   for (std::size_t i = 0; i < total / 2; ++i) submit_one(i);
   // Weight hot-swap landing under load: re-roll every tile while workers are
   // mid-stream. Each candidate tile is scrubbed before install; in-flight
@@ -480,6 +528,26 @@ int serve_async_main(bool csv, bool smoke, long threads, int repeat, const std::
   const double rps = static_cast<double>(total) / wall_s;
   const realm::serve::ServeStats st = engine.stats();
 
+  // Every ticket above has been waited on, so the worker lanes are quiescent:
+  // safe to export the span timeline and the metrics snapshot. Done before
+  // the fault phases, which run on separate untraced engines.
+  if (trace) {
+    std::ofstream os(trace_path);
+    if (!os) {
+      std::cerr << "protected_gemm_bench: cannot write " << trace_path << "\n";
+      return 1;
+    }
+    os << tracer.export_chrome_json();
+  }
+  if (!metrics_path.empty()) {
+    std::ofstream os(metrics_path);
+    if (!os) {
+      std::cerr << "protected_gemm_bench: cannot write " << metrics_path << "\n";
+      return 1;
+    }
+    os << registry.expose();
+  }
+
   // Fault-load phase (elevated injection: EVERY request faulted), once with
   // the in-place patch enabled (the serving default) and once with
   // patch_on_detect=false (recompute-only). Pinned streams give both engines
@@ -491,8 +559,15 @@ int serve_async_main(bool csv, bool smoke, long threads, int repeat, const std::
   const auto fault_phase = [&](bool patch_enabled, double& p99_ms, double& patch_rate) {
     realm::serve::TileGridConfig fcfg = gcfg;
     fcfg.detect.patch_on_detect = patch_enabled;
+    // Untraced and unmetered: the archived timeline/metrics cover only the
+    // sustained-traffic phase above, not the elevated-injection sweep.
+    fcfg.tracer = nullptr;
+    fcfg.metrics = nullptr;
     const realm::serve::TileGrid fgrid(w8_fault, qw, fcfg);
-    realm::serve::ServeEngine fengine(fgrid, scfg);
+    realm::serve::ServeConfig fscfg = scfg;
+    fscfg.tracer = nullptr;
+    fscfg.metrics = nullptr;
+    realm::serve::ServeEngine fengine(fgrid, fscfg);
     fengine.wait(fengine.submit(realm::serve::Request::borrow(acts[0], qa)));  // warm buffers
     std::vector<realm::serve::Ticket> fts;
     fts.reserve(fault_total);
@@ -568,11 +643,10 @@ int serve_async_main(bool csv, bool smoke, long threads, int repeat, const std::
       std::cerr << "protected_gemm_bench: cannot write " << json_path << "\n";
       return 1;
     }
+    os << "{\n  \"schema_version\": 1,\n  \"mode\": \"serve-async\",\n";
+    write_provenance(os, trace);
     char buf[2048];
     std::snprintf(buf, sizeof(buf),
-                  "{\n"
-                  "  \"schema_version\": 1,\n"
-                  "  \"mode\": \"serve-async\",\n"
                   "  \"kernel_tier\": \"%s\",\n"
                   "  \"workers\": %zu,\n"
                   "  \"tiles\": %zu,\n"
@@ -641,6 +715,8 @@ int main(int argc, char** argv) {
   long threads = 1;
   int repeat = 0;  // 0 = auto
   std::string json_path;
+  std::string trace_path;
+  std::string metrics_path;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--csv") {
@@ -663,6 +739,11 @@ int main(int argc, char** argv) {
       if (repeat < 1) return usage();
     } else if (arg == "--json" && i + 1 < argc) {
       json_path = argv[++i];
+    } else if (arg == "--trace") {
+      // Optional file operand; anything starting with "--" is the next flag.
+      trace_path = (i + 1 < argc && argv[i + 1][0] != '-') ? argv[++i] : "trace.json";
+    } else if (arg == "--metrics") {
+      metrics_path = (i + 1 < argc && argv[i + 1][0] != '-') ? argv[++i] : "metrics.prom";
     } else {
       return usage();
     }
@@ -671,8 +752,12 @@ int main(int argc, char** argv) {
     return usage();
   }
   if (fault_model && !serve_async) return usage();  // only meaningful for the async engine
+  if ((!trace_path.empty() || !metrics_path.empty()) && !serve_async) return usage();
   if (serve) return serve_main(csv, smoke, threads, repeat, json_path);
-  if (serve_async) return serve_async_main(csv, smoke, threads, repeat, json_path, fault_model);
+  if (serve_async) {
+    return serve_async_main(csv, smoke, threads, repeat, json_path, fault_model, trace_path,
+                            metrics_path);
+  }
   if (sa) return sa_main(csv, smoke, threads, repeat, json_path);
   realm::util::set_global_threads(static_cast<std::size_t>(threads));
   realm::util::Rng rng(0xbe7c);
@@ -728,7 +813,7 @@ int main(int argc, char** argv) {
     // calibration: repeat until each cell measures >= ~50ms of work at the
     // speed this machine actually runs, whatever tier/thread count that is.
     realm::tensor::MatI32 c(res.m, res.n);
-    auto t0 = Clock::now();
+    auto t0 = realm::util::now_ns();
     realm::tensor::gemm_i8_prepacked(a8, pg.weights(), packed_w, c);
     const double warm_s = std::max(seconds_since(t0), 1e-6);
     const int reps =
@@ -751,11 +836,11 @@ int main(int argc, char** argv) {
     patch_d.reserve((reps + 1) / 2);
     recompute_d.reserve((reps + 1) / 2);
     for (int r = 0; r < reps; ++r) {
-      t0 = Clock::now();
+      t0 = realm::util::now_ns();
       realm::tensor::gemm_i8_prepacked(a8, pg.weights(), packed_w, c);
       raw_t[r] = seconds_since(t0);
 
-      t0 = Clock::now();
+      t0 = realm::util::now_ns();
       pg.run_quantized_into(a8, qa, none, rng, prot);
       clean_t[r] = seconds_since(t0);
       detect_d[r] = clean_t[r] - raw_t[r];
@@ -764,11 +849,11 @@ int main(int argc, char** argv) {
       // the same clean-pair time: the in-place algebraic patch (default) and
       // the recompute replay — the split that shows what the patch saves.
       if (r % 2 == 0) {
-        t0 = Clock::now();
+        t0 = realm::util::now_ns();
         pg.run_quantized_into(a8, qa, mag_freq, rng, prot);
         last = prot.report.verdict;
         patch_d.push_back(seconds_since(t0) - clean_t[r]);
-        t0 = Clock::now();
+        t0 = realm::util::now_ns();
         pg_rec.run_quantized_into(a8, qa, mag_freq, rng, prot);
         recompute_d.push_back(seconds_since(t0) - clean_t[r]);
       }

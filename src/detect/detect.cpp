@@ -6,6 +6,7 @@
 
 #include "detect/correct.h"
 #include "fault/memory.h"
+#include "obs/trace.h"
 #include "tensor/gemm.h"
 #include "util/bitmath.h"
 
@@ -147,8 +148,16 @@ std::uint64_t ProtectedGemm::corrupt_panels(const fault::MemoryFaultModel& memor
 ProtectedGemmResult ProtectedGemm::run(const tensor::MatF& a,
                                        const fault::FaultInjector& injector,
                                        util::Rng& rng) const {
-  const tensor::QuantParams qa = tensor::calibrate(a.flat());
-  return run_quantized(tensor::quantize(a, qa), qa, injector, rng);
+  tensor::QuantParams qa{};
+  tensor::MatI8 a8;
+  {
+    // The serving path submits pre-quantized activations, so this span only
+    // appears on the float front door.
+    const obs::ScopedSpan quant_span(obs::SpanKind::kQuantize);
+    qa = tensor::calibrate(a.flat());
+    a8 = tensor::quantize(a, qa);
+  }
+  return run_quantized(a8, qa, injector, rng);
 }
 
 ProtectedGemmResult ProtectedGemm::run_quantized(const tensor::MatI8& a8,
@@ -170,6 +179,9 @@ void ProtectedGemm::run_quantized_into(const tensor::MatI8& a8, tensor::QuantPar
     throw std::invalid_argument("ProtectedGemm: activation/weight dim mismatch");
   }
 
+  // Stage spans nest under the caller's tile span via the thread-local trace
+  // context (obs/trace.h) — no-ops outside a traced request and compiled out
+  // entirely under REALM_TRACE=OFF.
   const bool strike_acts =
       memory != nullptr && memory->enabled(fault::Component::kActivations);
   std::uint64_t activation_flips = 0;
@@ -187,6 +199,7 @@ void ProtectedGemm::run_quantized_into(const tensor::MatI8& a8, tensor::QuantPar
         memory->corrupt(fault::Component::kActivations, op, result.a8_work.flat());
     gemm_a = &result.a8_work;
     predicted_cols = tensor::predict_col_checksum(a8, w8_);
+    const obs::ScopedSpan gemm_span(obs::SpanKind::kGemm);
     tensor::gemm_i8_prepacked(*gemm_a, w8_, w_packed_, result.acc);
   } else {
     // The fused store-phase reduction of the multiply IS the predicted column
@@ -195,11 +208,15 @@ void ProtectedGemm::run_quantized_into(const tensor::MatI8& a8, tensor::QuantPar
     // exactly (integer checksum identity — cross-checked in the test suite).
     // This models the dedicated fault-free checksum datapath of Fig. 7 and
     // replaces the scalar O(k·n) predict_col_checksum pass.
+    const obs::ScopedSpan gemm_span(obs::SpanKind::kGemm);
     tensor::gemm_i8_prepacked(a8, w8_, w_packed_, result.acc, &predicted_cols);
   }
   const fault::InjectionReport injection = injector.inject(result.acc.flat(), rng);
 
-  result.report = screen_accumulator(cfg_, predicted_cols, *gemm_a, w_row_basis_, result.acc);
+  {
+    const obs::ScopedSpan screen_span(obs::SpanKind::kScreen);
+    result.report = screen_accumulator(cfg_, predicted_cols, *gemm_a, w_row_basis_, result.acc);
+  }
   result.report.injection = injection;
   result.report.component_flips[static_cast<std::size_t>(fault::Component::kAccumulator)] =
       injection.flipped_bits;
@@ -211,6 +228,7 @@ void ProtectedGemm::run_quantized_into(const tensor::MatI8& a8, tensor::QuantPar
     // from the plain + weighted deviations and patch the accumulator, at
     // O(m·n + m·k + k·n) instead of the O(m·k·n) replay. try_patch re-screens
     // with the full criteria internally; only a clean recheck claims success.
+    const obs::ScopedSpan patch_span(obs::SpanKind::kPatch);
     const correct::PatchResult patched = correct::try_patch(
         cfg_, predicted_cols, a8, w8_, w_row_basis_, w_row_wbasis_, result.acc);
     if (patched.outcome == correct::PatchOutcome::kPatched) {
@@ -224,14 +242,21 @@ void ProtectedGemm::run_quantized_into(const tensor::MatI8& a8, tensor::QuantPar
     // never re-examined). The replay consumes the caller's a8 — on the
     // memory-model path that is a re-fetch of the golden producer copy, so
     // an activation strike is recomputed away just like an accumulator one.
-    tensor::gemm_i8_prepacked(a8, w8_, w_packed_, result.acc);
+    {
+      const obs::ScopedSpan recompute_span(obs::SpanKind::kRecompute);
+      tensor::gemm_i8_prepacked(a8, w8_, w_packed_, result.acc);
+    }
+    const obs::ScopedSpan recheck_span(obs::SpanKind::kRecheck);
     if (screen_accumulator(cfg_, predicted_cols, a8, w_row_basis_, result.acc).verdict ==
         Verdict::kClean) {
       result.report.verdict = Verdict::kRecomputed;
     }
   }
 
-  tensor::dequantize_acc(result.acc, qa, qw_, result.output);
+  {
+    const obs::ScopedSpan dequant_span(obs::SpanKind::kDequantize);
+    tensor::dequantize_acc(result.acc, qa, qw_, result.output);
+  }
 }
 
 std::uint64_t calibrate_msd_threshold(const ProtectedGemm& pg, std::size_t m,

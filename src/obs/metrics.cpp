@@ -1,0 +1,181 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <map>
+#include <stdexcept>
+#include <vector>
+
+namespace realm::obs {
+namespace {
+
+// All metric names and help strings in this repo are plain ASCII identifiers
+// and sentences (no backslashes, quotes, or newlines), so exposition needs no
+// escaping pass. Label bodies are pre-formatted by the registrant.
+void append_series_name(std::string& out, std::string_view name, std::string_view labels) {
+  out.append(name);
+  if (!labels.empty()) {
+    out.push_back('{');
+    out.append(labels);
+    out.push_back('}');
+  }
+}
+
+void append_header(std::string& out, std::string_view name, std::string_view help,
+                   std::string_view type) {
+  out.append("# HELP ").append(name).push_back(' ');
+  out.append(help).push_back('\n');
+  out.append("# TYPE ").append(name).push_back(' ');
+  out.append(type).push_back('\n');
+}
+
+// Histogram series names carry the `le` bound merged into the label body.
+void append_bucket_line(std::string& out, std::string_view name, std::string_view labels,
+                        std::string_view le, std::uint64_t cumulative) {
+  out.append(name).append("_bucket{");
+  if (!labels.empty()) out.append(labels).push_back(',');
+  out.append("le=\"").append(le).append("\"} ");
+  out.append(std::to_string(cumulative)).push_back('\n');
+}
+
+}  // namespace
+
+void LogHistogram::reset() noexcept {
+  for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
+  count_.store(0, std::memory_order_relaxed);
+  sum_.store(0, std::memory_order_relaxed);
+}
+
+template <typename M>
+M& MetricsRegistry::get_or_create(std::deque<Entry<M>>& pool, std::string_view name,
+                                  std::string_view help, std::string_view labels) {
+  for (auto& e : pool) {
+    if (e.name == name && e.labels == labels) return e.metric;
+  }
+  auto& e = pool.emplace_back();
+  e.name = name;
+  e.help = help;
+  e.labels = labels;
+  return e.metric;
+}
+
+void MetricsRegistry::require_unique_type(std::string_view name, const void* pool) const {
+  const auto taken = [&](const auto& other) {
+    if (&other == pool) return false;
+    return std::any_of(other.begin(), other.end(), [&](const auto& e) { return e.name == name; });
+  };
+  if (taken(counters_) || taken(gauges_) || taken(histograms_)) {
+    throw std::logic_error("metric '" + std::string(name) +
+                           "' already registered as a different type");
+  }
+}
+
+Counter& MetricsRegistry::counter(std::string_view name, std::string_view help,
+                                  std::string_view labels) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  require_unique_type(name, &counters_);
+  return get_or_create(counters_, name, help, labels);
+}
+
+Gauge& MetricsRegistry::gauge(std::string_view name, std::string_view help,
+                              std::string_view labels) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  require_unique_type(name, &gauges_);
+  return get_or_create(gauges_, name, help, labels);
+}
+
+LogHistogram& MetricsRegistry::histogram(std::string_view name, std::string_view help,
+                                         std::string_view labels) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  require_unique_type(name, &histograms_);
+  return get_or_create(histograms_, name, help, labels);
+}
+
+std::string MetricsRegistry::expose() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+
+  // Group entries into families (same name, ≥1 label-distinguished series),
+  // sorted by name via the map, series within a family sorted by label body —
+  // exposition is byte-deterministic for a given registry state, which the
+  // golden-format test relies on.
+  std::string out;
+  const auto family_map = [](const auto& pool) {
+    std::map<std::string_view, std::vector<const void*>> fams;
+    for (const auto& e : pool) fams[e.name].push_back(&e);
+    return fams;
+  };
+
+  struct Block {
+    std::string_view name;
+    std::string text;
+  };
+  std::vector<Block> blocks;
+
+  const auto emit_scalar = [&](const auto& pool, std::string_view type) {
+    using E = typename std::decay_t<decltype(pool)>::value_type;
+    for (auto& [name, members] : family_map(pool)) {
+      std::vector<const E*> series;
+      series.reserve(members.size());
+      for (const void* p : members) series.push_back(static_cast<const E*>(p));
+      std::sort(series.begin(), series.end(),
+                [](const E* a, const E* b) { return a->labels < b->labels; });
+      Block blk{name, {}};
+      append_header(blk.text, name, series.front()->help, type);
+      for (const E* e : series) {
+        append_series_name(blk.text, e->name, e->labels);
+        blk.text.push_back(' ');
+        blk.text.append(std::to_string(e->metric.value())).push_back('\n');
+      }
+      blocks.push_back(std::move(blk));
+    }
+  };
+  emit_scalar(counters_, "counter");
+  emit_scalar(gauges_, "gauge");
+
+  for (auto& [name, members] : family_map(histograms_)) {
+    std::vector<const Entry<LogHistogram>*> series;
+    series.reserve(members.size());
+    for (const void* p : members) series.push_back(static_cast<const Entry<LogHistogram>*>(p));
+    std::sort(series.begin(), series.end(),
+              [](const auto* a, const auto* b) { return a->labels < b->labels; });
+    Block blk{name, {}};
+    append_header(blk.text, name, series.front()->help, "histogram");
+    for (const auto* e : series) {
+      const LogHistogram& h = e->metric;
+      // Emit cumulative buckets up to the highest occupied one; trailing
+      // empty buckets collapse into +Inf so an idle histogram is 3 lines,
+      // not 68.
+      int hi = -1;
+      for (int i = 0; i < LogHistogram::kBuckets; ++i) {
+        if (h.bucket(i) != 0) hi = i;
+      }
+      std::uint64_t cumulative = 0;
+      for (int i = 0; i <= hi; ++i) {
+        cumulative += h.bucket(i);
+        append_bucket_line(blk.text, e->name, e->labels,
+                           std::to_string(LogHistogram::bucket_upper(i)), cumulative);
+      }
+      append_bucket_line(blk.text, e->name, e->labels, "+Inf", h.count());
+      append_series_name(blk.text, std::string(e->name) + "_sum", e->labels);
+      blk.text.push_back(' ');
+      blk.text.append(std::to_string(h.sum())).push_back('\n');
+      append_series_name(blk.text, std::string(e->name) + "_count", e->labels);
+      blk.text.push_back(' ');
+      blk.text.append(std::to_string(h.count())).push_back('\n');
+    }
+    blocks.push_back(std::move(blk));
+  }
+
+  std::sort(blocks.begin(), blocks.end(),
+            [](const Block& a, const Block& b) { return a.name < b.name; });
+  for (const Block& b : blocks) out.append(b.text);
+  return out;
+}
+
+void MetricsRegistry::reset() {
+  const std::lock_guard<std::mutex> lock(mu_);
+  for (auto& e : counters_) e.metric.reset();
+  for (auto& e : gauges_) e.metric.reset();
+  for (auto& e : histograms_) e.metric.reset();
+}
+
+}  // namespace realm::obs

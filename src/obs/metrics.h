@@ -1,0 +1,152 @@
+// Fixed-allocation metrics registry with Prometheus text exposition.
+//
+// The serving hot path (worker loops, per-tile verdict merges) records into
+// pre-registered Counter/Gauge/LogHistogram handles with relaxed atomic
+// increments — no locks, no allocation, no formatting. All the expensive
+// machinery (get-or-create registration, exposition, reset) lives behind the
+// registry mutex and runs on cold paths only. Callers resolve handles ONCE at
+// setup and keep the pointers; `counter()`/`gauge()`/`histogram()` take a lock
+// and must never be called per request.
+//
+// Histograms are log₂-bucketed: bucket 0 holds the value 0, bucket i (1..64)
+// holds values in [2^(i-1), 2^i − 1]. Exponential buckets cover the full
+// int64-microsecond latency range in 65 fixed slots, so a histogram is a flat
+// array of atomics — no dynamic bucket plans, no rebinning.
+//
+// Reset contract: `reset()` and `expose()` serialize on the registry mutex, so
+// a concurrent `expose()` observes either the fully pre-reset or the fully
+// post-reset registry, never a torn mixture. Increments racing with a reset
+// land on whichever side their relaxed store happens to fall — that is the
+// same ±1 blur any sampling scrape already has, and it never tears a single
+// metric (each atomic is reset individually but exposition can't interleave).
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <string>
+#include <string_view>
+
+#include "util/bitmath.h"
+
+namespace realm::obs {
+
+/// Monotone event count. Relaxed increments; exact under concurrency (each
+/// fetch_add lands exactly once — relaxed only forgoes ordering, not atomicity).
+class Counter {
+ public:
+  void inc(std::uint64_t n = 1) noexcept { v_.fetch_add(n, std::memory_order_relaxed); }
+  [[nodiscard]] std::uint64_t value() const noexcept { return v_.load(std::memory_order_relaxed); }
+
+ private:
+  friend class MetricsRegistry;
+  void reset() noexcept { v_.store(0, std::memory_order_relaxed); }
+  std::atomic<std::uint64_t> v_{0};
+};
+
+/// Point-in-time level (queue depth, swap epoch). Signed so transient
+/// add/sub imbalance during a race window can't wrap to 2^64.
+class Gauge {
+ public:
+  void set(std::int64_t v) noexcept { v_.store(v, std::memory_order_relaxed); }
+  void add(std::int64_t d) noexcept { v_.fetch_add(d, std::memory_order_relaxed); }
+  [[nodiscard]] std::int64_t value() const noexcept { return v_.load(std::memory_order_relaxed); }
+
+ private:
+  friend class MetricsRegistry;
+  void reset() noexcept { v_.store(0, std::memory_order_relaxed); }
+  std::atomic<std::int64_t> v_{0};
+};
+
+/// Log₂-bucketed histogram over unsigned samples (latencies in µs, queue
+/// waits). 65 fixed buckets; observe() is three relaxed fetch_adds.
+class LogHistogram {
+ public:
+  static constexpr int kBuckets = 65;
+
+  /// Bucket index for a sample: 0 for the value 0, else ilog2(v)+1 — so
+  /// bucket i (i ≥ 1) holds exactly the values whose highest set bit is
+  /// bit i−1, i.e. the range [2^(i-1), 2^i − 1].
+  [[nodiscard]] static constexpr int bucket_index(std::uint64_t v) noexcept {
+    return v == 0 ? 0 : util::ilog2_u64(v) + 1;
+  }
+
+  /// Inclusive upper bound of bucket i (the Prometheus `le` value):
+  /// 2^i − 1, saturating to UINT64_MAX for the final bucket.
+  [[nodiscard]] static constexpr std::uint64_t bucket_upper(int i) noexcept {
+    return i >= 64 ? UINT64_MAX : (std::uint64_t{1} << i) - 1;
+  }
+
+  void observe(std::uint64_t v) noexcept {
+    buckets_[static_cast<std::size_t>(bucket_index(v))].fetch_add(1, std::memory_order_relaxed);
+    count_.fetch_add(1, std::memory_order_relaxed);
+    sum_.fetch_add(v, std::memory_order_relaxed);
+  }
+
+  [[nodiscard]] std::uint64_t bucket(int i) const noexcept {
+    return buckets_[static_cast<std::size_t>(i)].load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t count() const noexcept {
+    return count_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t sum() const noexcept { return sum_.load(std::memory_order_relaxed); }
+
+ private:
+  friend class MetricsRegistry;
+  void reset() noexcept;
+  std::array<std::atomic<std::uint64_t>, kBuckets> buckets_{};
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<std::uint64_t> sum_{0};
+};
+
+/// Get-or-create registry of named metrics. Series identity is
+/// (name, labels) where `labels` is a pre-formatted Prometheus label body
+/// like `component="weights"` (empty for unlabeled series). Metrics live in
+/// deques so handle pointers stay valid for the registry's lifetime no matter
+/// how many later registrations happen.
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  /// Get-or-create. `help` is recorded on first registration of a name and
+  /// ignored afterwards. Registering the same name as two different metric
+  /// types throws std::logic_error. Cold path — takes the registry lock.
+  Counter& counter(std::string_view name, std::string_view help, std::string_view labels = {});
+  Gauge& gauge(std::string_view name, std::string_view help, std::string_view labels = {});
+  LogHistogram& histogram(std::string_view name, std::string_view help,
+                          std::string_view labels = {});
+
+  /// Prometheus text-format exposition: families sorted by name, series
+  /// within a family sorted by label body, histogram buckets as cumulative
+  /// `le` series with trailing empty buckets elided before `+Inf`.
+  [[nodiscard]] std::string expose() const;
+
+  /// Zero every registered metric. Serialized against expose() — see the
+  /// file-top reset contract.
+  void reset();
+
+ private:
+  template <typename M>
+  struct Entry {
+    std::string name;
+    std::string help;
+    std::string labels;
+    M metric;
+  };
+
+  template <typename M>
+  M& get_or_create(std::deque<Entry<M>>& pool, std::string_view name, std::string_view help,
+                   std::string_view labels);
+  void require_unique_type(std::string_view name, const void* pool) const;
+
+  mutable std::mutex mu_;
+  std::deque<Entry<Counter>> counters_;
+  std::deque<Entry<Gauge>> gauges_;
+  std::deque<Entry<LogHistogram>> histograms_;
+};
+
+}  // namespace realm::obs

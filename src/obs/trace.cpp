@@ -1,0 +1,228 @@
+#include "obs/trace.h"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace realm::obs {
+namespace {
+
+const util::Clock& default_clock() noexcept {
+  static const util::Clock clock;
+  return clock;
+}
+
+/// Human name for a verdict byte — mirrors detect::Verdict's enumerator
+/// order (kClean, kDetected, kPatched, kRecomputed); nullptr for kNoVerdict
+/// or out-of-range values (the exporter then omits the field).
+const char* verdict_name(std::uint8_t v) noexcept {
+  switch (v) {
+    case 0: return "clean";
+    case 1: return "detected";
+    case 2: return "patched";
+    case 3: return "recomputed";
+    default: return nullptr;
+  }
+}
+
+/// Microsecond string for a ns timestamp, 3 decimals (full ns precision in
+/// Chrome's µs time unit).
+void append_us(std::string& out, std::int64_t ns) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.3f", static_cast<double>(ns) / 1e3);
+  out.append(buf);
+}
+
+}  // namespace
+
+const char* span_name(SpanKind k) noexcept {
+  switch (k) {
+    case SpanKind::kRequest: return "request";
+    case SpanKind::kQueued: return "queued";
+    case SpanKind::kTile: return "tile";
+    case SpanKind::kQuantize: return "quantize";
+    case SpanKind::kGemm: return "gemm";
+    case SpanKind::kScreen: return "screen";
+    case SpanKind::kPatch: return "patch";
+    case SpanKind::kRecompute: return "recompute";
+    case SpanKind::kRecheck: return "recheck";
+    case SpanKind::kDequantize: return "dequantize";
+    case SpanKind::kInjectedFlips: return "injected_flips";
+    case SpanKind::kScrubReject: return "scrub_reject";
+    case SpanKind::kHotSwap: return "hot_swap";
+    case SpanKind::kLoadShed: return "load_shed";
+    case SpanKind::kExpired: return "expired";
+  }
+  return "unknown";
+}
+
+Tracer::Tracer(TracerConfig cfg)
+    : capacity_(cfg.capacity == 0 ? 1 : cfg.capacity),
+      clock_(cfg.clock != nullptr ? cfg.clock : &default_clock()),
+      enabled_(cfg.enabled),
+      lanes_(cfg.lanes + 1) {
+  for (auto& lane : lanes_) lane.ring.resize(capacity_);
+}
+
+void Tracer::record(std::size_t lane, const Event& e) noexcept {
+  if (!enabled()) return;
+  Lane& l = lanes_[lane];
+  const std::uint64_t n = l.count.load(std::memory_order_relaxed);
+  l.ring[static_cast<std::size_t>(n % capacity_)] = e;
+  l.count.store(n + 1, std::memory_order_release);
+}
+
+void Tracer::record_control(const Event& e) {
+  if (!enabled()) return;
+  const std::lock_guard<std::mutex> lock(control_mu_);
+  record(0, e);
+}
+
+std::vector<Event> Tracer::snapshot(std::size_t lane) const {
+  std::unique_lock<std::mutex> control_lock;
+  if (lane == 0) control_lock = std::unique_lock<std::mutex>(control_mu_);
+  const Lane& l = lanes_[lane];
+  const std::uint64_t n = l.count.load(std::memory_order_acquire);
+  const std::uint64_t held = std::min<std::uint64_t>(n, capacity_);
+  std::vector<Event> out;
+  out.reserve(static_cast<std::size_t>(held));
+  for (std::uint64_t i = n - held; i < n; ++i) {
+    out.push_back(l.ring[static_cast<std::size_t>(i % capacity_)]);
+  }
+  return out;
+}
+
+std::uint64_t Tracer::recorded(std::size_t lane) const noexcept {
+  return lanes_[lane].count.load(std::memory_order_acquire);
+}
+
+std::string Tracer::export_chrome_json() const {
+  std::string out;
+  out.append("{\"displayTimeUnit\":\"ns\",\"traceEvents\":[");
+  bool first = true;
+  const auto sep = [&] {
+    if (!first) out.push_back(',');
+    first = false;
+    out.append("\n ");
+  };
+
+  // One named track per lane, even if empty — a stable track layout makes
+  // traces comparable across runs.
+  for (std::size_t lane = 0; lane < lanes_.size(); ++lane) {
+    sep();
+    out.append("{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":");
+    out.append(std::to_string(lane));
+    out.append(",\"args\":{\"name\":\"");
+    out.append(lane == 0 ? "control" : "worker-" + std::to_string(lane));
+    out.append("\"}}");
+  }
+
+  for (std::size_t lane = 0; lane < lanes_.size(); ++lane) {
+    for (const Event& e : snapshot(lane)) {
+      sep();
+      out.append("{\"name\":\"");
+      out.append(span_name(e.kind));
+      out.append("\",\"cat\":\"realm\",\"ph\":\"");
+      out.append(is_instant(e.kind) ? "i\",\"s\":\"t" : "X");
+      out.append("\",\"ts\":");
+      append_us(out, e.t_start_ns);
+      if (!is_instant(e.kind)) {
+        out.append(",\"dur\":");
+        append_us(out, e.t_end_ns - e.t_start_ns);
+      }
+      out.append(",\"pid\":1,\"tid\":");
+      out.append(std::to_string(lane));
+      out.append(",\"args\":{\"span_id\":");
+      out.append(std::to_string(e.span_id));
+      out.append(",\"parent\":");
+      out.append(std::to_string(e.parent));
+      out.append(",\"tenant\":");
+      out.append(std::to_string(e.tenant));
+      if (e.tile >= 0) {
+        out.append(",\"tile\":");
+        out.append(std::to_string(e.tile));
+      }
+      if (const char* v = verdict_name(e.verdict); v != nullptr) {
+        out.append(",\"verdict\":\"");
+        out.append(v);
+        out.push_back('"');
+      }
+      out.append("}}");
+    }
+  }
+  out.append("\n]}\n");
+  return out;
+}
+
+#if REALM_TRACE_ENABLED
+
+TraceContext& trace_context() noexcept {
+  thread_local TraceContext ctx;
+  return ctx;
+}
+
+ScopedSpan::ScopedSpan(SpanKind kind, std::int32_t tile) noexcept {
+  TraceContext& ctx = trace_context();
+  if (ctx.tracer == nullptr || !ctx.tracer->enabled()) return;
+  active_ = true;
+  kind_ = kind;
+  tile_ = tile;
+  id_ = span_id(ctx.stream, tile, kind);
+  saved_parent_ = ctx.parent;
+  ctx.parent = id_;
+  t0_ = ctx.tracer->now_ns();
+}
+
+ScopedSpan::~ScopedSpan() {
+  if (!active_) return;
+  TraceContext& ctx = trace_context();
+  ctx.parent = saved_parent_;
+  Event e;
+  e.span_id = id_;
+  e.parent = saved_parent_;
+  e.t_start_ns = t0_;
+  e.t_end_ns = ctx.tracer->now_ns();
+  e.tile = tile_;
+  e.tenant = ctx.tenant;
+  e.kind = kind_;
+  e.verdict = verdict_;
+  ctx.tracer->record(ctx.lane, e);
+}
+
+ScopedRequestTrace::ScopedRequestTrace(Tracer* tracer, std::size_t lane, std::uint64_t stream,
+                                       std::uint16_t tenant, std::int64_t submitted_ns) noexcept {
+  if (tracer == nullptr || !tracer->enabled()) return;
+  active_ = true;
+  TraceContext& ctx = trace_context();
+  saved_ = ctx;
+  submitted_ns_ = submitted_ns;
+  request_id_ = span_id(stream, -1, SpanKind::kRequest);
+  ctx = TraceContext{tracer, lane, stream, tenant, request_id_};
+
+  Event q;
+  q.span_id = span_id(stream, -1, SpanKind::kQueued);
+  q.parent = request_id_;
+  q.t_start_ns = submitted_ns;
+  q.t_end_ns = tracer->now_ns();
+  q.tenant = tenant;
+  q.kind = SpanKind::kQueued;
+  tracer->record(lane, q);
+}
+
+ScopedRequestTrace::~ScopedRequestTrace() {
+  if (!active_) return;
+  TraceContext& ctx = trace_context();
+  Event r;
+  r.span_id = request_id_;
+  r.parent = 0;
+  r.t_start_ns = submitted_ns_;
+  r.t_end_ns = ctx.tracer->now_ns();
+  r.tenant = ctx.tenant;
+  r.kind = SpanKind::kRequest;
+  r.verdict = verdict_;
+  ctx.tracer->record(ctx.lane, r);
+  ctx = saved_;
+}
+
+#endif  // REALM_TRACE_ENABLED
+
+}  // namespace realm::obs

@@ -1,22 +1,15 @@
 #include "serve/engine.h"
 
-#include <chrono>
 #include <stdexcept>
 #include <utility>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "util/threadpool.h"
 
 namespace realm::serve {
 
 namespace {
-
-/// Latency is a measurement, not a scheduling input, so it always reads the
-/// real steady clock — even when deadlines run against a ManualClock.
-using LatencyClock = std::chrono::steady_clock;
-
-double ms_since(LatencyClock::time_point t0) {
-  return std::chrono::duration<double, std::milli>(LatencyClock::now() - t0).count();
-}
 
 /// Process-wide default time source when ServeConfig::clock is null.
 const util::Clock& steady_clock_instance() {
@@ -28,6 +21,35 @@ bool terminal(TicketState s) noexcept {
   return s == TicketState::kDone || s == TicketState::kExpired || s == TicketState::kFailed;
 }
 
+/// Point event on the tracer's control lane (submit-side paths: any thread).
+void emit_instant_control(obs::Tracer* tracer, obs::SpanKind kind, std::uint64_t stream,
+                          std::uint16_t tenant) {
+  if constexpr (obs::kTraceCompiledIn) {
+    if (tracer == nullptr) return;
+    obs::Event e;
+    e.span_id = obs::span_id(stream, -1, kind);
+    e.t_start_ns = e.t_end_ns = tracer->now_ns();
+    e.tenant = tenant;
+    e.kind = kind;
+    tracer->record_control(e);
+  }
+}
+
+/// Point event on a worker lane (the lane's single producer only).
+void emit_instant_lane(obs::Tracer* tracer, std::size_t lane, obs::SpanKind kind,
+                       std::uint64_t stream, std::uint16_t tenant, std::uint64_t parent = 0) {
+  if constexpr (obs::kTraceCompiledIn) {
+    if (tracer == nullptr) return;
+    obs::Event e;
+    e.span_id = obs::span_id(stream, -1, kind);
+    e.parent = parent;
+    e.t_start_ns = e.t_end_ns = tracer->now_ns();
+    e.tenant = tenant;
+    e.kind = kind;
+    tracer->record(lane, e);
+  }
+}
+
 }  // namespace
 
 ServeEngine::ServeEngine(const TileGrid& grid, ServeConfig cfg)
@@ -37,11 +59,47 @@ ServeEngine::ServeEngine(const TileGrid& grid, ServeConfig cfg)
       sched_(cfg.queue_capacity),  // throws if the capacity is 0
       tenants_(cfg.stats_window),  // throws if the window is 0
       latency_window_(cfg.stats_window) {
+  if (cfg_.metrics != nullptr) {
+    obs::MetricsRegistry& reg = *cfg_.metrics;
+    const auto state_counter = [&reg](const char* state) {
+      return &reg.counter("realm_serve_requests_total", "Requests by lifecycle state.",
+                          std::string("state=\"") + state + "\"");
+    };
+    met_.submitted = state_counter("submitted");
+    met_.rejected = state_counter("rejected");
+    met_.completed = state_counter("completed");
+    met_.expired = state_counter("expired");
+    met_.failed = state_counter("failed");
+    const auto tile_counter = [&reg](const char* outcome) {
+      return &reg.counter("realm_serve_tiles_total", "Screened tiles by outcome.",
+                          std::string("outcome=\"") + outcome + "\"");
+    };
+    met_.tiles_screened = tile_counter("screened");
+    met_.tiles_detected = tile_counter("detected");
+    met_.tiles_patched = tile_counter("patched");
+    met_.tiles_recomputed = tile_counter("recomputed");
+    for (std::size_t i = 0; i < fault::kComponentCount; ++i) {
+      met_.component_flips[i] =
+          &reg.counter("realm_serve_component_flips_total",
+                       "Request-time memory-fault bit flips by component.",
+                       std::string("component=\"") +
+                           fault::to_string(static_cast<fault::Component>(i)) + "\"");
+    }
+    met_.latency_us = &reg.histogram("realm_serve_request_latency_us",
+                                     "Request latency (worker claim to response), microseconds.");
+    met_.queue_wait_us = &reg.histogram("realm_serve_queue_wait_us",
+                                        "Admission-to-claim queue wait, microseconds.");
+    met_.queue_depth = &reg.gauge("realm_serve_queue_depth", "Tickets currently queued.");
+  }
   const std::size_t nworkers = cfg_.workers < 1 ? 1 : cfg_.workers;
+  if (cfg_.tracer != nullptr && cfg_.tracer->lanes() < nworkers) {
+    throw std::invalid_argument("ServeEngine: tracer needs one worker lane per engine worker");
+  }
   threads_.reserve(nworkers);
   try {
     for (std::size_t w = 0; w < nworkers; ++w) {
-      threads_.emplace_back([this] { worker_loop(); });
+      // Tracer lane w+1: lane 0 is the control lane for non-worker threads.
+      threads_.emplace_back([this, w] { worker_loop(w + 1); });
     }
   } catch (...) {
     // A failed spawn must not unwind past joinable threads (std::terminate);
@@ -66,6 +124,8 @@ std::optional<Ticket> ServeEngine::enqueue(Request&& request, const SubmitOption
   }
   const std::string tenant(options.tenant);
   Ticket ticket;
+  std::uint64_t stream = 0;
+  std::uint16_t tenant_id = 0;
   {
     const std::lock_guard<std::mutex> lock(mu_);
     ticket.id = next_id_++;
@@ -73,11 +133,13 @@ std::optional<Ticket> ServeEngine::enqueue(Request&& request, const SubmitOption
     slot.state = TicketState::kQueued;
     slot.request = std::move(request);
     slot.tenant = tenant;
+    slot.tenant_id = tenant_id = tenant_id_locked(tenant);
     slot.deadline = options.deadline;
+    slot.submitted_at = clock_->now();
     // Default stream: the submission sequence (ticket id - 1), so a single
     // submitter gets the 0,1,2,... streams of the old batch engine; pin
     // options.stream for interleaving-independent replays.
-    slot.stream = options.stream.value_or(ticket.id - 1);
+    slot.stream = stream = options.stream.value_or(ticket.id - 1);
     ++inflight_;
   }
   const bool admitted = blocking ? sched_.admit(ticket.id, options.priority)
@@ -89,6 +151,8 @@ std::optional<Ticket> ServeEngine::enqueue(Request&& request, const SubmitOption
       --inflight_;
       ++counters_.rejected;
     }
+    if (met_.rejected != nullptr) met_.rejected->inc();
+    emit_instant_control(cfg_.tracer, obs::SpanKind::kLoadShed, stream, tenant_id);
     tenants_.record_rejected(tenant);
     done_cv_.notify_all();  // a parked drain() must re-check its predicate
     if (blocking) {
@@ -102,8 +166,20 @@ std::optional<Ticket> ServeEngine::enqueue(Request&& request, const SubmitOption
     const std::lock_guard<std::mutex> lock(mu_);
     ++counters_.submitted;
   }
+  if (met_.submitted != nullptr) met_.submitted->inc();
+  if (met_.queue_depth != nullptr) met_.queue_depth->add(1);
   tenants_.record_submitted(tenant);
   return ticket;
+}
+
+std::uint16_t ServeEngine::tenant_id_locked(const std::string& tenant) {
+  const auto it = tenant_ids_.find(tenant);
+  if (it != tenant_ids_.end()) return it->second;
+  // Ids wrap past 65535 tenants — they tag trace events only; accounting is
+  // keyed by name.
+  const auto id = static_cast<std::uint16_t>(tenant_ids_.size());
+  tenant_ids_.emplace(tenant, id);
+  return id;
 }
 
 Ticket ServeEngine::submit(Request request, SubmitOptions options) {
@@ -118,7 +194,10 @@ void ServeEngine::process(WorkerScratch& scratch, const Request& request, std::u
                           Response& response) {
   static const fault::NullInjector kGolden;
   const fault::FaultInjector& inj = request.injector ? *request.injector : kGolden;
-  const auto t0 = LatencyClock::now();
+  // Latency is a measurement, not a scheduling input, so it always reads the
+  // real steady clock (util::now_ns) — even when deadlines run against a
+  // ManualClock.
+  const std::int64_t t0_ns = util::now_ns();
   // Deterministic fault stream: the stream tag (not worker id, not pop order)
   // selects it; the grid forks it again per tile.
   const util::Rng rng = util::Rng(cfg_.seed).fork(stream);
@@ -130,24 +209,30 @@ void ServeEngine::process(WorkerScratch& scratch, const Request& request, std::u
   // are keyed by (memory seed, stream, tile), replayable like the injector's.
   grid_.run_into(a8, request.qa, inj, rng, tile_scratch, response.output, response.verdict,
                  request.memory, stream);
-  response.latency_ms = ms_since(t0);
+  response.latency_ms = util::ms_since_ns(t0_ns);
 }
 
-void ServeEngine::worker_loop() {
+void ServeEngine::worker_loop(std::size_t lane) {
   // Nesting marker: every parallel_for reached from this thread (the GEMM
   // macro-loop) runs inline here — one request is one worker's work.
   util::mark_thread_as_pool_worker();
   WorkerScratch scratch;
   std::uint64_t id = 0;
   while (sched_.next(id)) {
+    if (met_.queue_depth != nullptr) met_.queue_depth->add(-1);
     Request request;
     std::string tenant;
+    std::uint16_t tenant_id = 0;
     std::uint64_t stream = 0;
+    util::TimePoint submitted_at{};
     bool expired = false;
     {
       const std::lock_guard<std::mutex> lock(mu_);
       Slot& slot = slots_.at(id);
       tenant = slot.tenant;
+      tenant_id = slot.tenant_id;
+      stream = slot.stream;
+      submitted_at = slot.submitted_at;
       if (slot.deadline && clock_->now() > *slot.deadline) {
         // Retired at the deadline: the GEMM never runs, the output stays
         // empty, and the request's fault stream is simply never drawn (other
@@ -160,21 +245,44 @@ void ServeEngine::worker_loop() {
       } else {
         slot.state = TicketState::kRunning;
         request = slot.request;  // pointers + shared_ptr: cheap, lock stays short
-        stream = slot.stream;
       }
     }
     if (expired) {
+      if (met_.expired != nullptr) met_.expired->inc();
+      emit_instant_lane(cfg_.tracer, lane, obs::SpanKind::kExpired, stream, tenant_id);
       tenants_.record_expired(tenant);
       done_cv_.notify_all();
       continue;
     }
+    if (met_.queue_wait_us != nullptr) {
+      const std::int64_t wait_ns = util::to_ns(clock_->now()) - util::to_ns(submitted_at);
+      met_.queue_wait_us->observe(wait_ns > 0 ? static_cast<std::uint64_t>(wait_ns) / 1000 : 0);
+    }
 
     Response response;
     std::exception_ptr error;
-    try {
-      process(scratch, request, stream, response);
-    } catch (...) {
-      error = std::current_exception();
+    {
+      // Installs this thread's trace context: the grid's per-tile spans and
+      // the detect stage spans nest under this request span; the kQueued
+      // child (submit → claim) is recorded by the constructor.
+      obs::ScopedRequestTrace req_trace(cfg_.tracer, lane, stream, tenant_id,
+                                        util::to_ns(submitted_at));
+      try {
+        process(scratch, request, stream, response);
+      } catch (...) {
+        error = std::current_exception();
+      }
+      if (!error) {
+        req_trace.set_verdict(static_cast<std::uint8_t>(response.verdict.verdict));
+        bool any_flips = response.verdict.injection.flipped_bits > 0;
+        for (const std::uint64_t f : response.verdict.component_flips) {
+          any_flips = any_flips || f > 0;
+        }
+        if (any_flips) {
+          emit_instant_lane(cfg_.tracer, lane, obs::SpanKind::kInjectedFlips, stream, tenant_id,
+                            obs::span_id(stream, -1, obs::SpanKind::kRequest));
+        }
+      }
     }
     const double latency_ms = response.latency_ms;
     const detect::Verdict verdict = response.verdict.verdict;
@@ -186,6 +294,7 @@ void ServeEngine::worker_loop() {
         slot.state = TicketState::kFailed;
         slot.error = error;
         ++counters_.failed;
+        if (met_.failed != nullptr) met_.failed->inc();
       } else {
         slot.state = TicketState::kDone;
         ++counters_.completed;
@@ -198,6 +307,18 @@ void ServeEngine::worker_loop() {
         }
         counters_.latency_ms.add(latency_ms);
         latency_window_.add(latency_ms);
+        if (met_.completed != nullptr) {
+          met_.completed->inc();
+          met_.tiles_screened->inc(response.verdict.tiles);
+          met_.tiles_detected->inc(response.verdict.tiles_detected);
+          met_.tiles_patched->inc(response.verdict.tiles_patched);
+          met_.tiles_recomputed->inc(response.verdict.tiles_recomputed);
+          for (std::size_t i = 0; i < fault::kComponentCount; ++i) {
+            if (component_flips[i] > 0) met_.component_flips[i]->inc(component_flips[i]);
+          }
+          met_.latency_us->observe(
+              latency_ms > 0 ? static_cast<std::uint64_t>(latency_ms * 1000.0) : 0);
+        }
         slot.response = std::move(response);
       }
       --inflight_;
@@ -291,9 +412,16 @@ ServeStats ServeEngine::stats() const {
 }
 
 void ServeEngine::reset_stats() {
-  const std::lock_guard<std::mutex> lock(mu_);
-  counters_ = ServeStats{};
-  latency_window_ = util::SlidingWindow(cfg_.stats_window);
+  // Three internally-consistent steps, each atomic under its own lock —
+  // see the header contract (a concurrent reader interleaving between steps
+  // sees old-or-new per surface, never a torn snapshot of any one of them).
+  {
+    const std::lock_guard<std::mutex> lock(mu_);
+    counters_ = ServeStats{};
+    latency_window_ = util::SlidingWindow(cfg_.stats_window);
+  }
+  tenants_.reset_windows();
+  if (cfg_.metrics != nullptr) cfg_.metrics->reset();
 }
 
 TenantStats ServeEngine::tenant_stats(std::string_view tenant) const {

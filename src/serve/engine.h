@@ -49,6 +49,7 @@
 // ticket; polling a consumed or never-issued ticket throws.
 #pragma once
 
+#include <array>
 #include <condition_variable>
 #include <cstddef>
 #include <cstdint>
@@ -71,6 +72,14 @@
 #include "util/clock.h"
 #include "util/stats.h"
 
+namespace realm::obs {  // obs/trace.h, obs/metrics.h
+class Tracer;
+class MetricsRegistry;
+class Counter;
+class Gauge;
+class LogHistogram;
+}  // namespace realm::obs
+
 namespace realm::serve {
 
 struct ServeConfig {
@@ -88,6 +97,14 @@ struct ServeConfig {
   /// inject a util::ManualClock here to make expiry deterministic. Must
   /// outlive the engine.
   const util::Clock* clock = nullptr;
+  /// Span tracer; nullptr = untraced. Worker w records on tracer lane w+1, so
+  /// the tracer needs at least `workers` worker lanes. For coherent queue
+  /// spans, configure the tracer with the same clock as the engine. Must
+  /// outlive the engine.
+  obs::Tracer* tracer = nullptr;
+  /// Metrics registry for the realm_serve_* family; nullptr = unmetered.
+  /// Must outlive the engine.
+  obs::MetricsRegistry* metrics = nullptr;
 };
 
 /// One inference request. The activation is either BORROWED (`a8` — the
@@ -224,8 +241,15 @@ class ServeEngine {
   [[nodiscard]] std::vector<Response> serve(std::span<const Request> requests);
 
   [[nodiscard]] ServeStats stats() const;
-  /// Reset engine-wide counters and the latency window (per-tenant books are
-  /// append-only and unaffected).
+  /// Reset the rolling accounting surface in three internally-consistent
+  /// steps: engine-wide counters + latency window (under the engine lock),
+  /// every tenant's sliding windows (under the book's lock; cumulative
+  /// per-tenant counters are append-only history and stay), and the metrics
+  /// registry if configured (serialized against expose(), so a concurrent
+  /// scrape sees the registry fully pre- or fully post-reset — never a torn
+  /// mixture; see obs/metrics.h). Each step is atomic under its own lock;
+  /// a reader interleaving between steps sees old-or-new per surface, which
+  /// is the documented "atomically-enough" contract.
   void reset_stats();
 
   /// Snapshot one tenant's accounting; throws for a never-seen tenant.
@@ -242,7 +266,9 @@ class ServeEngine {
     TicketState state = TicketState::kQueued;
     Request request;
     std::string tenant;
+    std::uint16_t tenant_id = 0;  ///< trace-event tenant tag (first-seen order)
     std::optional<util::TimePoint> deadline;
+    util::TimePoint submitted_at{};  ///< engine-clock admit time (queue wait)
     std::uint64_t stream = 0;
     Response response;
     std::exception_ptr error;
@@ -255,9 +281,33 @@ class ServeEngine {
   };
 
   std::optional<Ticket> enqueue(Request&& request, const SubmitOptions& options, bool blocking);
-  void worker_loop();
+  /// `lane` is the worker's tracer lane (worker index + 1; lane 0 is the
+  /// tracer's control lane).
+  void worker_loop(std::size_t lane);
   void process(WorkerScratch& scratch, const Request& request, std::uint64_t stream,
                Response& response);
+  /// Stable small id for a tenant name (assigned in first-submission order);
+  /// caller must hold mu_.
+  std::uint16_t tenant_id_locked(const std::string& tenant);
+
+  /// Metric handles resolved once at construction from cfg_.metrics (all
+  /// nullptr when unmetered). Increments are relaxed-atomic — no lock needed
+  /// beyond what the surrounding code already holds.
+  struct Metrics {
+    obs::Counter* submitted = nullptr;
+    obs::Counter* rejected = nullptr;
+    obs::Counter* completed = nullptr;
+    obs::Counter* expired = nullptr;
+    obs::Counter* failed = nullptr;
+    obs::Counter* tiles_screened = nullptr;
+    obs::Counter* tiles_detected = nullptr;
+    obs::Counter* tiles_patched = nullptr;
+    obs::Counter* tiles_recomputed = nullptr;
+    std::array<obs::Counter*, fault::kComponentCount> component_flips{};
+    obs::LogHistogram* latency_us = nullptr;
+    obs::LogHistogram* queue_wait_us = nullptr;
+    obs::Gauge* queue_depth = nullptr;
+  };
 
   const TileGrid& grid_;
   const ServeConfig cfg_;
@@ -268,8 +318,10 @@ class ServeEngine {
   mutable std::mutex mu_;
   std::condition_variable done_cv_;  ///< state transitions; wait()/drain() park here
   std::unordered_map<std::uint64_t, Slot> slots_;
+  std::unordered_map<std::string, std::uint16_t> tenant_ids_;  ///< guarded by mu_
   std::uint64_t next_id_ = 1;  ///< ticket ids; id-1 is the default stream tag
   std::size_t inflight_ = 0;   ///< queued + running (drain()'s predicate)
+  Metrics met_{};              ///< resolved handles; pointees are atomic
 
   // Engine-wide accounting; guarded by mu_.
   ServeStats counters_;               ///< window_* fields unused here (see stats())

@@ -1,6 +1,5 @@
 #include "serve/tenant.h"
 
-#include <chrono>
 #include <stdexcept>
 #include <utility>
 
@@ -56,6 +55,15 @@ void TenantBook::record_completed(std::string_view tenant, double latency_ms,
   while (s.completed_at.size() > window_) s.completed_at.pop_front();
 }
 
+void TenantBook::reset_windows() {
+  const std::lock_guard<std::mutex> lock(mu_);
+  for (auto& entry : book_) {
+    State& s = entry.second;
+    s.latency_window = util::SlidingWindow(window_);
+    s.completed_at.clear();
+  }
+}
+
 TenantStats TenantBook::stats(std::string_view tenant) const {
   const std::lock_guard<std::mutex> lock(mu_);
   const auto it = book_.find(tenant);
@@ -82,8 +90,7 @@ TenantStats TenantBook::stats(std::string_view tenant) const {
     out.window_p99_ms = s.latency_window.quantile(0.99);
   }
   if (s.completed_at.size() >= 2) {
-    const double span_s =
-        std::chrono::duration<double>(s.completed_at.back() - s.completed_at.front()).count();
+    const double span_s = util::seconds_between(s.completed_at.front(), s.completed_at.back());
     if (span_s > 0) {
       out.req_per_s = static_cast<double>(s.completed_at.size() - 1) / span_s;
     }

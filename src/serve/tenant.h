@@ -99,6 +99,13 @@ class TenantBook {
   void record_completed(std::string_view tenant, double latency_ms, detect::Verdict verdict,
                         const fault::ComponentFlips& component_flips, util::TimePoint now);
 
+  /// Reset every tenant's sliding-window state — the latency-quantile window
+  /// and the req/s completion-time window — in one critical section; the
+  /// cumulative counters and RunningStat are append-only history and stay.
+  /// Part of ServeEngine::reset_stats()'s contract: a concurrent stats()
+  /// observes the book either fully pre-reset or fully post-reset.
+  void reset_windows();
+
   /// Snapshot one tenant. Throws std::invalid_argument for a tenant that has
   /// never been recorded — a typo'd dashboard key should fail loudly.
   [[nodiscard]] TenantStats stats(std::string_view tenant) const;

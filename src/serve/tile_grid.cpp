@@ -3,8 +3,11 @@
 #include <algorithm>
 #include <cstring>
 #include <stdexcept>
+#include <string>
 
 #include "fault/memory.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "tensor/gemm.h"
 
 namespace realm::serve {
@@ -74,9 +77,35 @@ TileGrid::TileGrid(const tensor::MatF& w, TileGridConfig cfg) : cfg_(cfg) {
   build(tensor::quantize(w, qw), qw);
 }
 
+void TileGrid::emit_instant(obs::SpanKind kind, std::size_t t) const {
+  if constexpr (obs::kTraceCompiledIn) {
+    if (cfg_.tracer == nullptr) return;
+    obs::Event e;
+    e.span_id = obs::span_id(0, static_cast<std::int32_t>(t), kind);
+    e.t_start_ns = e.t_end_ns = cfg_.tracer->now_ns();
+    e.tile = static_cast<std::int32_t>(t);
+    e.kind = kind;
+    cfg_.tracer->record_control(e);
+  }
+}
+
 void TileGrid::build(const tensor::MatI8& w8, tensor::QuantParams qw) {
   if (w8.empty()) throw std::invalid_argument("TileGrid: empty weights");
   if (cfg_.tile_cols == 0) throw std::invalid_argument("TileGrid: tile_cols must be >= 1");
+  if (cfg_.metrics != nullptr) {
+    obs::MetricsRegistry& reg = *cfg_.metrics;
+    met_.swaps = &reg.counter("realm_grid_swaps_total", "Hot-swap tile installs (scrub passed).");
+    met_.scrub_rejects = &reg.counter("realm_grid_scrub_rejects_total",
+                                      "Hot-swap candidates rejected by the weight scrub.");
+    met_.swap_epoch = &reg.gauge("realm_grid_swap_epoch", "Monotone swap-install epoch.");
+    for (std::size_t i = 0; i < fault::kComponentCount; ++i) {
+      const auto c = static_cast<fault::Component>(i);
+      met_.memory_flips[i] =
+          &reg.counter("realm_grid_memory_flips_total",
+                       "Load/rest-time memory-fault bit flips by component.",
+                       std::string("component=\"") + fault::to_string(c) + "\"");
+    }
+  }
   rows_ = w8.rows();
   cols_ = w8.cols();
   const std::size_t ntiles = (cols_ + cfg_.tile_cols - 1) / cfg_.tile_cols;
@@ -112,10 +141,17 @@ bool TileGrid::swap_tile(std::size_t t, tensor::MatI8 slice, tensor::QuantParams
   // packed, bases captured, verify_weight_integrity green).
   auto candidate = std::make_shared<detect::ProtectedGemm>(cfg_.detect);
   candidate->set_weights_quantized(std::move(slice), qw);
-  if (!candidate->verify_weight_integrity()) return false;
+  if (!candidate->verify_weight_integrity()) {
+    if (met_.scrub_rejects != nullptr) met_.scrub_rejects->inc();
+    emit_instant(obs::SpanKind::kScrubReject, t);
+    return false;
+  }
   const std::lock_guard<std::mutex> lock(swap_mu_);
   tiles_[t] = std::move(candidate);
   ++swap_epoch_;
+  if (met_.swaps != nullptr) met_.swaps->inc();
+  if (met_.swap_epoch != nullptr) met_.swap_epoch->set(static_cast<std::int64_t>(swap_epoch_));
+  emit_instant(obs::SpanKind::kHotSwap, t);
   return true;
 }
 
@@ -133,12 +169,24 @@ bool TileGrid::swap_tile(std::size_t t, tensor::MatI8 slice, tensor::QuantParams
   // fault therefore disagrees with the bases and the scrub rejects the load.
   const std::uint64_t flips =
       candidate->corrupt_weights(memory, fault::compose_op(op, t));
+  if (flips > 0) {
+    const auto c = static_cast<std::size_t>(fault::Component::kWeights);
+    if (met_.memory_flips[c] != nullptr) met_.memory_flips[c]->inc(flips);
+    emit_instant(obs::SpanKind::kInjectedFlips, t);
+  }
   const bool ok = candidate->verify_weight_integrity();
+  if (!ok) {
+    if (met_.scrub_rejects != nullptr) met_.scrub_rejects->inc();
+    emit_instant(obs::SpanKind::kScrubReject, t);
+  }
   const std::lock_guard<std::mutex> lock(swap_mu_);
   memory_flips_[static_cast<std::size_t>(fault::Component::kWeights)] += flips;
   if (!ok) return false;
   tiles_[t] = std::move(candidate);
   ++swap_epoch_;
+  if (met_.swaps != nullptr) met_.swaps->inc();
+  if (met_.swap_epoch != nullptr) met_.swap_epoch->set(static_cast<std::int64_t>(swap_epoch_));
+  emit_instant(obs::SpanKind::kHotSwap, t);
   return true;
 }
 
@@ -150,12 +198,16 @@ std::uint64_t TileGrid::age_panels(const fault::MemoryFaultModel& memory, std::u
     // owned until installed), then publish. No scrub: at-rest corruption is
     // exactly what the scrub/screen must catch on the NEXT touch.
     auto aged = std::make_shared<detect::ProtectedGemm>(*tile(t));
-    total += aged->corrupt_panels(memory, fault::compose_op(epoch, t));
+    const std::uint64_t flipped = aged->corrupt_panels(memory, fault::compose_op(epoch, t));
+    if (flipped > 0) emit_instant(obs::SpanKind::kInjectedFlips, t);
+    total += flipped;
     const std::lock_guard<std::mutex> lock(swap_mu_);
     tiles_[t] = std::move(aged);
   }
+  const auto c = static_cast<std::size_t>(fault::Component::kPackedPanels);
+  if (total > 0 && met_.memory_flips[c] != nullptr) met_.memory_flips[c]->inc(total);
   const std::lock_guard<std::mutex> lock(swap_mu_);
-  memory_flips_[static_cast<std::size_t>(fault::Component::kPackedPanels)] += total;
+  memory_flips_[c] += total;
   return total;
 }
 
@@ -219,6 +271,9 @@ void TileGrid::run_tiles(const tensor::MatI8& a8, tensor::QuantParams qa,
     // request computes against entirely-old or entirely-new weights for THIS
     // tile even if swap_tile lands mid-request (hot-swap contract above).
     const TileHandle tile = this->tile(t);
+    // Tile span nests under the worker's request span via the thread-local
+    // trace context (no-op outside a traced request).
+    obs::ScopedSpan tile_span(obs::SpanKind::kTile, static_cast<std::int32_t>(t));
     // Forked per tile so the fault stream depends only on (seed, tile), never
     // on which worker ran the tile or in what order — the determinism the
     // 1/2/8-thread tests pin down.
@@ -228,6 +283,7 @@ void TileGrid::run_tiles(const tensor::MatI8& a8, tensor::QuantParams qa,
     // replayable regardless of worker count or tile order.
     tile->run_quantized_into(a8, qa, *injectors[t * stride], tile_rng, scratch[t], memory,
                              fault::compose_op(op, t));
+    tile_span.set_verdict(static_cast<std::uint8_t>(scratch[t].report.verdict));
     verdict.merge_tile(scratch[t].report, origins_[t]);
     const std::size_t width = scratch[t].output.cols();
     for (std::size_t r = 0; r < m; ++r) {

@@ -46,6 +46,7 @@
 // still verifies its own slice exactly.
 #pragma once
 
+#include <array>
 #include <cstddef>
 #include <cstdint>
 #include <memory>
@@ -63,6 +64,14 @@ namespace realm::fault {
 class MemoryFaultModel;  // fault/memory.h
 }
 
+namespace realm::obs {  // obs/trace.h, obs/metrics.h
+class Tracer;
+class MetricsRegistry;
+class Counter;
+class Gauge;
+enum class SpanKind : std::uint8_t;
+}  // namespace realm::obs
+
 namespace realm::serve {
 
 struct TileGridConfig {
@@ -71,6 +80,14 @@ struct TileGridConfig {
   std::size_t tile_cols = 256;
   /// Detection config shared by every tile's ProtectedGemm.
   detect::DetectionConfig detect{};
+  /// Span tracer for grid lifecycle instants (hot-swap installs, scrub
+  /// rejections, injected memory flips); nullptr = untraced. Appended after
+  /// `detect` so pre-observability aggregate initializers stay valid. Must
+  /// outlive the grid.
+  obs::Tracer* tracer = nullptr;
+  /// Metrics registry for the realm_grid_* family; nullptr = unmetered.
+  /// Must outlive the grid.
+  obs::MetricsRegistry* metrics = nullptr;
 };
 
 /// Aggregated verdict of one request across every tile of the grid.
@@ -237,6 +254,19 @@ class TileGrid {
  private:
   void build(const tensor::MatI8& w8, tensor::QuantParams qw);
 
+  /// Control-lane instant on the configured tracer (no-op when untraced or
+  /// when tracing is compiled out).
+  void emit_instant(obs::SpanKind kind, std::size_t t) const;
+
+  /// Handles resolved once at build() from cfg_.metrics; nullptr when
+  /// unmetered. Increments are relaxed-atomic — safe from any thread.
+  struct GridMetrics {
+    obs::Counter* swaps = nullptr;
+    obs::Counter* scrub_rejects = nullptr;
+    obs::Gauge* swap_epoch = nullptr;
+    std::array<obs::Counter*, fault::kComponentCount> memory_flips{};
+  };
+
   /// Shared tile loop. `injectors[t * stride]` is tile t's injector: stride 0
   /// broadcasts one injector to every tile without materializing a per-tile
   /// pointer array (the zero-alloc serving hot path), stride 1 walks the
@@ -257,6 +287,7 @@ class TileGrid {
   mutable std::mutex swap_mu_;
   std::uint64_t swap_epoch_ = 0;             ///< guarded by swap_mu_
   fault::ComponentFlips memory_flips_{};     ///< guarded by swap_mu_
+  GridMetrics met_{};
 };
 
 }  // namespace realm::serve

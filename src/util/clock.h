@@ -6,6 +6,14 @@
 // the default steady_clock-backed Clock, deadline tests inject a ManualClock
 // and advance it by hand — expiry becomes a pure function of the script, not
 // of scheduler timing.
+//
+// This header is also the ONLY place a raw std::chrono clock may be named
+// (realm-lint's clock-source rule pins every other call site in src/ and
+// bench/ to the helpers below): measurement sites read util::now_ns(),
+// schedulable time goes through Clock::now(), and duration arithmetic on
+// TimePoints uses seconds_between/to_ns. One raw-clock home means one place
+// to audit when a platform's steady clock misbehaves, and no call site that
+// silently defeats ManualClock injection.
 #pragma once
 
 #include <atomic>
@@ -18,6 +26,39 @@ namespace realm::util {
 /// every platform this repo targets is int64 nanoseconds since boot.
 using TimePoint = std::chrono::steady_clock::time_point;
 using Duration = std::chrono::steady_clock::duration;
+
+/// Monotonic nanoseconds since the steady clock's epoch — THE raw clock read
+/// for measurement sites (latency samples, bench wall time). Measurements are
+/// real by definition, so this never virtualizes; anything that SCHEDULES
+/// (deadlines, rate windows, trace timestamps) must go through Clock::now()
+/// instead so tests can inject a ManualClock.
+[[nodiscard]] inline std::int64_t now_ns() noexcept {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+/// Nanosecond value of a TimePoint, on the same scale as now_ns() (and as a
+/// ManualClock's ticks — its epoch starts at tick 1).
+[[nodiscard]] constexpr std::int64_t to_ns(TimePoint t) noexcept {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(t.time_since_epoch()).count();
+}
+
+/// Milliseconds elapsed since a now_ns() reading (the serving engine's
+/// latency measurement).
+[[nodiscard]] inline double ms_since_ns(std::int64_t t0_ns) noexcept {
+  return static_cast<double>(now_ns() - t0_ns) / 1e6;
+}
+
+/// Seconds elapsed since a now_ns() reading (bench wall-time measurement).
+[[nodiscard]] inline double seconds_since_ns(std::int64_t t0_ns) noexcept {
+  return static_cast<double>(now_ns() - t0_ns) / 1e9;
+}
+
+/// Seconds from `a` to `b` — pure duration arithmetic, no clock read.
+[[nodiscard]] constexpr double seconds_between(TimePoint a, TimePoint b) noexcept {
+  return std::chrono::duration<double>(b - a).count();
+}
 
 /// Time source. The base class reads std::chrono::steady_clock; override
 /// now() to virtualize time. Implementations must be safe to call from any

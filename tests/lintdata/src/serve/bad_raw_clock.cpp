@@ -1,0 +1,16 @@
+// Fixture: reads std::chrono::steady_clock directly instead of going through
+// util::Clock / util::now_ns(). The read is invisible to ManualClock
+// injection, so deadlines and trace timestamps silently go nondeterministic
+// under test — realm-lint must flag this as clock-source.
+#include <chrono>
+#include <cstdint>
+
+namespace realm::serve {
+
+std::int64_t deadline_ns(std::int64_t budget_ns) {
+  const auto now = std::chrono::steady_clock::now();  // BAD: raw clock read
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(now.time_since_epoch()).count() +
+         budget_ns;
+}
+
+}  // namespace realm::serve

@@ -34,6 +34,12 @@ enforces the invariants the test suite can only sample:
   rng-source      No rand()/srand()/std::mt19937/std::random_device outside
                   src/util/rng.*. All randomness flows through util::Rng so
                   every experiment is replayable from one seed.
+  clock-source    No std::chrono clock reads (steady_clock / system_clock /
+                  high_resolution_clock) or POSIX clock calls in src/ or
+                  bench/ outside src/util/clock.h. Timing flows through
+                  util::Clock / util::now_ns() so tests can inject a
+                  ManualClock and traces/deadlines stay deterministic; a raw
+                  clock read is invisible to that injection.
   rescreen        An in-place accumulator mutation in src/detect (writing
                   through an `*acc*` call/index expression, the corrector's
                   patch idiom) must be followed by a screen_accumulator(...)
@@ -69,7 +75,10 @@ SAT_MATH_DIRS = ("src/detect", "src/sa")
 RNG_HOME = ("src/util/rng.h", "src/util/rng.cpp")
 SAT_HELPERS = re.compile(r"\b(sat_add_i64|sat_add_u64|sat_sub_i64|wrap_to_bits|clamp_to_bits)\b")
 ALLOW_RE = re.compile(r"//\s*realm-lint:\s*allow\(([a-z0-9-]+)\)(:\s*\S.*)?")
-RULES = ("rng-fork", "sat-math", "avx512-pragma", "rng-source", "rescreen", "header-tu")
+RULES = ("rng-fork", "sat-math", "avx512-pragma", "rng-source", "clock-source", "rescreen",
+         "header-tu")
+CLOCK_HOME = "src/util/clock.h"
+CLOCK_SCOPE = ("src/", "bench/")
 RESCREEN_DIRS = ("src/detect",)
 
 
@@ -378,6 +387,28 @@ def check_rng_source(path, code, raw_lines, findings):
             f"through util::Rng so runs replay from one seed"))
 
 
+FORBIDDEN_CLOCK_RE = re.compile(
+    r"\b(steady_clock|system_clock|high_resolution_clock)\b"
+    r"|(?<![\w.:])(clock_gettime|gettimeofday)\s*\(")
+
+
+def check_clock_source(path, code, raw_lines, findings):
+    rel = str(path).replace(os.sep, "/")
+    if rel == CLOCK_HOME or not rel.startswith(CLOCK_SCOPE):
+        return
+    for m in FORBIDDEN_CLOCK_RE.finditer(code):
+        lineno = code.count("\n", 0, m.start()) + 1
+        allowed, bad = allows_for_line(raw_lines, lineno)
+        note_bare_allows(path, bad, findings)
+        if "clock-source" in allowed:
+            continue
+        findings.append(Finding(
+            path, lineno, "clock-source",
+            f"'{m.group(0).strip()}' outside {CLOCK_HOME}; timing must flow through "
+            f"util::Clock / util::now_ns() so a ManualClock can be injected "
+            f"(deterministic traces and deadlines)"))
+
+
 # Writing through an accumulator-ish lvalue: `acc(i, j) = ...`,
 # `out_acc[idx] += ...` — the corrector's in-place patch idiom.
 ACC_MUTATE_RE = re.compile(r"\b(\w*acc\w*)\s*(?:\([^()]*\)|\[[^\]]*\])\s*(\+=|-=|=)(?!=)")
@@ -488,6 +519,7 @@ def main():
         check_avx512_pragma(rel, strip_comments_and_strings(raw, keep_strings=True),
                             raw_lines, findings)
         check_rng_source(rel, code, raw_lines, findings)
+        check_clock_source(rel, code, raw_lines, findings)
         check_rescreen(rel, code, raw_lines, findings)
 
     if not args.no_headers:

@@ -8,7 +8,11 @@ every checker gets both directions pinned against committed fixtures:
     clean run, trips on a raw_gops regression, a detect_ms regression, a
     missing shape, and a multi-threaded record; the serve-async fault-load
     dispatch passes a clean record and trips on a patched-path p99
-    regression and on a patch rate under the floor;
+    regression and on a patch rate under the floor; the clean records carry
+    provenance keys (git_sha, trace, ...) the gate does not know, pinning
+    the tolerate-unknown-keys contract; the --trace-overhead mode passes a
+    within-budget traced/untraced pair, trips when traced req/s falls under
+    the ratio floor, and trips on a mis-wired pair (both records untraced);
   * tools/check_links.py over tests/tooldata/links_*.md — passes valid
     links/anchors (including duplicate-heading suffixes), trips on a missing
     file and on a dead anchor;
@@ -91,6 +95,18 @@ def main():
     expect("compare_baseline trips on fault-load patch-rate floor",
            [compare, tooldata / "bench_serve_fault_low_patch.json", base], want_zero=False,
            want_in_output="fault_patch_rate")
+    expect("compare_baseline passes a within-budget traced run",
+           [compare, "--trace-overhead", tooldata / "bench_trace_on_ok.json",
+            tooldata / "bench_trace_off.json"], want_zero=True,
+           want_in_output="tracing-overhead gate passed")
+    expect("compare_baseline trips on tracing overhead over budget",
+           [compare, "--trace-overhead", tooldata / "bench_trace_on_slow.json",
+            tooldata / "bench_trace_off.json"], want_zero=False,
+           want_in_output="tracing overhead over budget")
+    expect("compare_baseline trips on a mis-wired trace-overhead pair",
+           [compare, "--trace-overhead", tooldata / "bench_trace_off.json",
+            tooldata / "bench_trace_off.json"], want_zero=False,
+           want_in_output="mis-wired")
 
     expect("check_links passes valid links and anchors",
            [links, tooldata / "links_ok.md"], want_zero=True)
@@ -108,6 +124,7 @@ def main():
         ("src/detect/bad_raw_deviation.cpp", "sat-math"),
         ("src/tensor/bad_missing_pragma.cpp", "avx512-pragma"),
         ("src/serve/bad_mt19937.cpp", "rng-source"),
+        ("src/serve/bad_raw_clock.cpp", "clock-source"),
         ("src/util/bad_header.h", "header-tu"),
         ("src/detect/bad_patch_no_rescreen.cpp", "rescreen"),
     ]
